@@ -1,0 +1,46 @@
+# Convenience targets for the dynsample reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet cover bench experiments experiments-quick examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the slowest end-to-end experiment tests.
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper figure at full scale (~10 min, single core).
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/skewexplorer
+	$(GO) run ./examples/sumoutliers
+	$(GO) run ./examples/workloadtuned
+	$(GO) run ./examples/salesdashboard
+
+fuzz:
+	$(GO) test ./internal/sqlparse -fuzz FuzzParse -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,263 @@
+// Command aqpcli is an interactive approximate-query shell: it generates (or
+// loads the parameters of) a synthetic database, runs a strategy's
+// pre-processing phase, and then answers SQL aggregation queries
+// approximately, showing per-group confidence intervals, exactness flags and
+// the rewritten UNION ALL sample query.
+//
+// Usage:
+//
+//	aqpcli -db tpch -z 2.0 -rows 200000 -rate 0.01
+//	> SELECT s_region, COUNT(*) FROM T GROUP BY s_region;
+//	> \explain SELECT o_clerk, COUNT(*) FROM T GROUP BY o_clerk;
+//	> \exact   SELECT p_brand, SUM(l_extendedprice) FROM T GROUP BY p_brand;
+//	> \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dynsample/internal/core"
+	"dynsample/internal/datagen"
+	"dynsample/internal/engine"
+	"dynsample/internal/metrics"
+	"dynsample/internal/sqlparse"
+	"dynsample/internal/uniform"
+)
+
+func main() {
+	var (
+		dbKind   = flag.String("db", "tpch", "database: tpch or sales")
+		load     = flag.String("load", "", "load a single-table database from a CSV file instead of generating one")
+		z        = flag.Float64("z", 2.0, "Zipf skew")
+		rows     = flag.Int("rows", 200000, "fact rows")
+		rate     = flag.Float64("rate", 0.01, "base sampling rate r")
+		strategy = flag.String("strategy", "smallgroup", "strategy: smallgroup or uniform")
+		seed     = flag.Int64("seed", 42, "random seed")
+		query    = flag.String("query", "", "run one query and exit")
+		save     = flag.String("save", "", "write the pre-processed sample set to this file after building it")
+		restore  = flag.String("restore", "", "load a pre-processed sample set instead of re-running pre-processing")
+	)
+	flag.Parse()
+
+	var (
+		db  *engine.Database
+		err error
+	)
+	if *load != "" {
+		fmt.Fprintf(os.Stderr, "loading %s...\n", *load)
+		db, err = loadCSV(*load)
+	} else {
+		fmt.Fprintf(os.Stderr, "generating %s database (%d rows)...\n", *dbKind, *rows)
+		switch *dbKind {
+		case "tpch":
+			db, err = datagen.TPCH(datagen.TPCHConfig{ScaleFactor: 1, Zipf: *z, RowsPerSF: *rows, Seed: *seed})
+		case "sales":
+			db, err = datagen.Sales(datagen.SalesConfig{FactRows: *rows, Zipf: *z, Seed: *seed})
+		default:
+			err = fmt.Errorf("unknown database %q", *dbKind)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	sys := core.NewSystem(db)
+	if *restore != "" {
+		fmt.Fprintf(os.Stderr, "restoring sample set from %s...\n", *restore)
+		f, err := os.Open(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := core.LoadSmallGroup(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sys.AddPrepared("smallgroup", p)
+	} else {
+		fmt.Fprintf(os.Stderr, "pre-processing (%s, r=%g)...\n", *strategy, *rate)
+		switch *strategy {
+		case "smallgroup":
+			err = sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: *rate, Seed: *seed}))
+		case "uniform":
+			err = sys.AddStrategy(uniform.New(uniform.Config{Label: "smallgroup", Rate: *rate, Seed: *seed})) // registered under the same key for simplicity
+		default:
+			err = fmt.Errorf("unknown strategy %q", *strategy)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *save != "" {
+		p, _ := sys.Prepared("smallgroup")
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := core.SaveSmallGroup(f, p); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sample set saved to %s\n", *save)
+	}
+	p, _ := sys.Prepared("smallgroup")
+	fmt.Fprintf(os.Stderr, "ready: %d base rows, %d sample rows, pre-processing took %v\n",
+		db.NumRows(), p.SampleRows(), sys.PreprocessTime("smallgroup").Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "columns: %s\n", strings.Join(firstN(db.Columns(), 12), ", ")+", ...")
+
+	if *query != "" {
+		if err := runQuery(sys, db, *query, false, false); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\columns`:
+			fmt.Println(strings.Join(db.Columns(), ", "))
+		case strings.HasPrefix(line, `\explain `):
+			if err := runQuery(sys, db, strings.TrimPrefix(line, `\explain `), true, false); err != nil {
+				fmt.Println("error:", err)
+			}
+		case strings.HasPrefix(line, `\exact `):
+			if err := runQuery(sys, db, strings.TrimPrefix(line, `\exact `), false, true); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			if err := runQuery(sys, db, line, false, false); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func runQuery(sys *core.System, db *engine.Database, sql string, explain, compareExact bool) error {
+	stmt, err := sqlparse.Parse(strings.TrimSuffix(sql, ";"))
+	if err != nil {
+		return err
+	}
+	compiled, err := sqlparse.Compile(stmt, db)
+	if err != nil {
+		return err
+	}
+	ans, err := sys.Approx("smallgroup", compiled.Query)
+	if err != nil {
+		return err
+	}
+	if explain && ans.Rewrite != nil {
+		fmt.Println("-- rewritten query:")
+		fmt.Println(ans.Rewrite.SQL())
+		fmt.Println()
+	}
+	printAnswer(compiled, ans)
+	fmt.Printf("(%d groups, %d sample rows read, %v)\n",
+		ans.Result.NumGroups(), ans.RowsRead, ans.Elapsed.Round(time.Microsecond))
+
+	if compareExact {
+		exact, d, err := sys.Exact(compiled.Query)
+		if err != nil {
+			return err
+		}
+		acc, err := metrics.Compare(exact, ans.Result, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exact: %d groups in %v | RelErr=%.4f PctGroupsMissed=%.1f%%\n",
+			exact.NumGroups(), d.Round(time.Millisecond), acc.RelErr, acc.PctGroups)
+	}
+	return nil
+}
+
+// printAnswer renders the answer using the SELECT-list mapping, honouring
+// the query's HAVING/ORDER BY/LIMIT; without ORDER BY, groups are shown
+// largest first. Display is capped at 40 rows.
+func printAnswer(c *sqlparse.Compiled, ans *core.Answer) {
+	for _, o := range c.Outputs {
+		fmt.Printf("%-22s", o.Name)
+	}
+	fmt.Println()
+	groups := c.Present(ans.Result)
+	if len(c.Order) == 0 {
+		sort.SliceStable(groups, func(i, j int) bool {
+			return groups[i].Vals[0] > groups[j].Vals[0]
+		})
+	}
+	const limit = 40
+	for i, g := range groups {
+		if i == limit {
+			fmt.Printf("... (%d more groups)\n", len(groups)-limit)
+			break
+		}
+		key := engine.EncodeKey(g.Key)
+		for _, o := range c.Outputs {
+			switch o.Kind {
+			case sqlparse.OutGroup:
+				fmt.Printf("%-22s", g.Key[o.GroupIndex].String())
+			case sqlparse.OutAgg:
+				iv := ans.Interval(key, o.AggIndex)
+				if g.Exact {
+					fmt.Printf("%-22s", fmt.Sprintf("%.2f (exact)", g.Vals[o.AggIndex]))
+				} else {
+					fmt.Printf("%-22s", fmt.Sprintf("%.2f ±%.2f", g.Vals[o.AggIndex], iv.Width()/2))
+				}
+			case sqlparse.OutAvg:
+				den := g.Vals[o.DenIndex]
+				avg := 0.0
+				if den != 0 {
+					avg = g.Vals[o.NumIndex] / den
+				}
+				suffix := ""
+				if g.Exact {
+					suffix = " (exact)"
+				}
+				fmt.Printf("%-22s", fmt.Sprintf("%.2f%s", avg, suffix))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// loadCSV builds a single-table database from a CSV file with a header row.
+func loadCSV(path string) (*engine.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	tbl, err := engine.ReadCSV(name, f)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewDatabase(name, tbl)
+}
+
+func firstN(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aqpcli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command aqpd serves the AQP middleware over HTTP: generate (or restore) a
+// database, run pre-processing once, then answer SQL aggregation queries
+// from the samples.
+//
+// Usage:
+//
+//	aqpd -db tpch -z 2.0 -rows 200000 -rate 0.01 -addr :8080
+//	curl -s localhost:8080/query -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region"}'
+//	curl -s localhost:8080/exact -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region"}'
+//	curl -s localhost:8080/columns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"dynsample/internal/core"
+	"dynsample/internal/datagen"
+	"dynsample/internal/engine"
+	"dynsample/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dbKind  = flag.String("db", "tpch", "database: tpch or sales")
+		z       = flag.Float64("z", 2.0, "Zipf skew")
+		rows    = flag.Int("rows", 200000, "fact rows")
+		rate    = flag.Float64("rate", 0.01, "base sampling rate r")
+		seed    = flag.Int64("seed", 42, "random seed")
+		restore = flag.String("restore", "", "load a pre-processed sample set (see aqpcli -save)")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "generating %s database (%d rows)...\n", *dbKind, *rows)
+	var (
+		db  *engine.Database
+		err error
+	)
+	switch *dbKind {
+	case "tpch":
+		db, err = datagen.TPCH(datagen.TPCHConfig{ScaleFactor: 1, Zipf: *z, RowsPerSF: *rows, Seed: *seed})
+	case "sales":
+		db, err = datagen.Sales(datagen.SalesConfig{FactRows: *rows, Zipf: *z, Seed: *seed})
+	default:
+		err = fmt.Errorf("unknown database %q", *dbKind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	sys := core.NewSystem(db)
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := core.LoadSmallGroup(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sys.AddPrepared("smallgroup", p)
+		fmt.Fprintf(os.Stderr, "restored sample set from %s\n", *restore)
+	} else {
+		start := time.Now()
+		if err := sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: *rate, Seed: *seed})); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pre-processing done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(sys, "smallgroup").Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "aqpd listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aqpd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig 4            # one experiment (3a 3b 4 5 6 7 8 9 sum prep gamma tau)
+//	experiments -all              # everything, in paper order
+//	experiments -all -quick       # reduced scale for a fast smoke run
+//
+// Output is ASCII tables with one row per x-axis point and one column per
+// method, plus notes quoting the paper's reference values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dynsample/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids")
+		quick   = flag.Bool("quick", false, "reduced scale (~10x faster)")
+		queries = flag.Int("queries", 0, "queries per configuration (default 20)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		outdir  = flag.String("outdir", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), " "))
+		return
+	}
+	if !*all && *fig == "" {
+		fmt.Fprintln(os.Stderr, "usage: experiments -fig <id> | -all   (use -list for ids)")
+		os.Exit(2)
+	}
+
+	sc := experiments.Scale{Seed: *seed, QueriesPerConfig: *queries}
+	if *quick {
+		sc.TPCHSF1Rows = 20000
+		sc.TPCHSF5Rows = 50000
+		sc.SalesRows = 10000
+		sc.BaseRate = 0.02
+		if sc.QueriesPerConfig == 0 {
+			sc.QueriesPerConfig = 8
+		}
+	}
+	r := experiments.NewRunner(sc)
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	run := func(id string) {
+		start := time.Now()
+		figs, err := r.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			f.Render(os.Stdout)
+			if *outdir != "" {
+				path := filepath.Join(*outdir, f.FileName())
+				out, err := os.Create(path)
+				if err == nil {
+					err = f.WriteCSV(out)
+					out.Close()
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("  [experiment %s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all {
+		for _, id := range experiments.IDs() {
+			run(id)
+		}
+		return
+	}
+	run(*fig)
+}

@@ -1,0 +1,12 @@
+// Package dynsample reproduces "Dynamic Sample Selection for Approximate
+// Query Processing" (Babcock, Chaudhuri, Das — SIGMOD 2003): an AQP
+// middleware that pre-builds a family of differently biased samples and, for
+// each query, dynamically assembles the subset that answers it best.
+//
+// The implementation lives under internal/: see internal/core for the
+// dynamic sample selection architecture and small group sampling,
+// internal/engine for the columnar star-schema execution engine, and
+// internal/experiments for the harness that regenerates every table and
+// figure of the paper. Entry points: cmd/experiments, cmd/aqpcli,
+// cmd/datagen, and the runnable programs under examples/.
+package dynsample

@@ -1,0 +1,3 @@
+module dynsample
+
+go 1.22

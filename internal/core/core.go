@@ -1,0 +1,147 @@
+// Package core implements the dynamic sample selection architecture of §3
+// and its flagship instantiation, small group sampling (§4).
+//
+// The architecture splits approximate query processing into two phases. In
+// the pre-processing phase a Strategy examines the data distribution, selects
+// strata, and builds a family of sample tables plus metadata describing them
+// (Figure 1). In the runtime phase, each incoming query is compared against
+// the metadata to choose the appropriate sample tables, rewritten to run
+// against them, and the partial results are combined into a single
+// approximate answer with per-group confidence intervals (Figure 2).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/stats"
+)
+
+// Strategy builds sample structures for a database during the pre-processing
+// phase. Implementations include small group sampling (this package) and the
+// baselines: uniform sampling, basic congress, and outlier indexing.
+type Strategy interface {
+	// Name identifies the strategy in reports and the CLI.
+	Name() string
+	// Preprocess scans the database and returns the runtime query answerer.
+	Preprocess(db *engine.Database) (Prepared, error)
+}
+
+// Prepared answers queries approximately using the sample tables built by a
+// Strategy's pre-processing phase.
+type Prepared interface {
+	// Answer runs the query against the strategy's sample tables.
+	Answer(q *engine.Query) (*Answer, error)
+	// SampleBytes estimates the storage consumed by the sample tables, for
+	// the space-overhead experiment (§5.4.2).
+	SampleBytes() int64
+	// SampleRows returns the total number of rows across all sample tables.
+	SampleRows() int64
+}
+
+// Answer is an approximate query answer: estimated (or exact) per-group
+// aggregate values plus confidence intervals.
+type Answer struct {
+	// Result holds the combined groups. Groups answered entirely from small
+	// group tables have Exact set.
+	Result *engine.Result
+	// Intervals maps each group to one confidence interval per aggregate.
+	Intervals map[engine.GroupKey][]stats.Interval
+	// RowsRead is the number of sample-table rows scanned to produce the
+	// answer (the runtime cost the paper holds constant across methods).
+	RowsRead int64
+	// Elapsed is the wall-clock execution time of the runtime phase.
+	Elapsed time.Duration
+	// Rewrite, when non-nil, is the rewritten query plan that produced the
+	// answer, printable as the UNION ALL SQL of §4.2.2.
+	Rewrite *RewritePlan
+}
+
+// Interval returns the confidence interval for a group's aggregate, or a
+// zero-width interval if the group is unknown.
+func (a *Answer) Interval(key engine.GroupKey, agg int) stats.Interval {
+	if ivs, ok := a.Intervals[key]; ok && agg < len(ivs) {
+		return ivs[agg]
+	}
+	return stats.Interval{}
+}
+
+// System is the AQP middleware: it owns the base database, runs strategy
+// pre-processing, routes runtime queries to a chosen strategy, and can
+// always fall back to exact execution.
+type System struct {
+	db       *engine.Database
+	prepared map[string]Prepared
+	prepTime map[string]time.Duration
+}
+
+// NewSystem returns a middleware instance over db.
+func NewSystem(db *engine.Database) *System {
+	return &System{
+		db:       db,
+		prepared: make(map[string]Prepared),
+		prepTime: make(map[string]time.Duration),
+	}
+}
+
+// DB returns the underlying database.
+func (s *System) DB() *engine.Database { return s.db }
+
+// AddStrategy runs a strategy's pre-processing phase and registers the
+// result under the strategy's name.
+func (s *System) AddStrategy(st Strategy) error {
+	start := time.Now()
+	p, err := st.Preprocess(s.db)
+	if err != nil {
+		return fmt.Errorf("preprocess %s: %w", st.Name(), err)
+	}
+	s.prepared[st.Name()] = p
+	s.prepTime[st.Name()] = time.Since(start)
+	return nil
+}
+
+// AddPrepared registers already-built runtime state (e.g. loaded from disk
+// via LoadSmallGroup) under a name, skipping pre-processing.
+func (s *System) AddPrepared(name string, p Prepared) {
+	s.prepared[name] = p
+}
+
+// Strategies lists the registered strategy names, sorted.
+func (s *System) Strategies() []string {
+	names := make([]string, 0, len(s.prepared))
+	for n := range s.prepared {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Prepared returns the registered runtime state for a strategy.
+func (s *System) Prepared(name string) (Prepared, bool) {
+	p, ok := s.prepared[name]
+	return p, ok
+}
+
+// PreprocessTime returns how long a strategy's pre-processing took.
+func (s *System) PreprocessTime(name string) time.Duration { return s.prepTime[name] }
+
+// Approx answers the query with the named strategy.
+func (s *System) Approx(strategy string, q *engine.Query) (*Answer, error) {
+	p, ok := s.prepared[strategy]
+	if !ok {
+		return nil, fmt.Errorf("core: strategy %q not registered", strategy)
+	}
+	if err := q.Validate(s.db); err != nil {
+		return nil, err
+	}
+	return p.Answer(q)
+}
+
+// Exact computes the exact answer by scanning the base data.
+func (s *System) Exact(q *engine.Query) (*engine.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := engine.ExecuteExact(s.db, q)
+	return res, time.Since(start), err
+}

@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+)
+
+// ExampleSmallGroup runs the full dynamic sample selection pipeline on the
+// paper's Example 3.1 database, scaled up: a product column where "TV" is a
+// rare value. The TV group is answered exactly from its small group table;
+// the dominant Stereo group is estimated from the overall sample.
+func ExampleSmallGroup() {
+	product := engine.NewColumn("product", engine.String)
+	fact := engine.NewTable("sales", product)
+	for i := 0; i < 10000; i++ {
+		if i%100 == 0 {
+			product.AppendString("TV") // 1% of rows
+		} else {
+			product.AppendString("Stereo")
+		}
+		fact.EndRow()
+	}
+	db := engine.MustNewDatabase("example31", fact)
+
+	strategy := core.NewSmallGroup(core.SmallGroupConfig{
+		BaseRate:           0.10, // 10% overall sample, as in Example 3.1
+		SmallGroupFraction: 0.05,
+		Seed:               1,
+	})
+	prepared, err := strategy.Preprocess(db)
+	if err != nil {
+		panic(err)
+	}
+
+	q := &engine.Query{
+		GroupBy: []string{"product"},
+		Aggs:    []engine.Aggregate{{Kind: engine.Count}},
+	}
+	ans, err := prepared.Answer(q)
+	if err != nil {
+		panic(err)
+	}
+	tv := ans.Result.Group(engine.EncodeKey([]engine.Value{engine.StringVal("TV")}))
+	fmt.Printf("TV count=%v exact=%v\n", tv.Vals[0], tv.Exact)
+	fmt.Println(ans.Rewrite.SQL())
+	// Output:
+	// TV count=100 exact=true
+	// SELECT product, COUNT(*) AS agg0 FROM sg_product GROUP BY product
+	// UNION ALL
+	// SELECT product, COUNT(*) * 10 AS agg0 FROM sg_overall WHERE bitmask & 1 = 0 GROUP BY product
+}

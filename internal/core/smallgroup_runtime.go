@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"dynsample/internal/bitmask"
+	"dynsample/internal/engine"
+	"dynsample/internal/stats"
+)
+
+// sampleSource is one stored sample: a flat join-synopsis table or a
+// renormalized star schema.
+type sampleSource struct {
+	src  engine.Source
+	name string
+}
+
+func (s sampleSource) rows() int64 { return int64(s.src.NumRows()) }
+
+func (s sampleSource) bytes() int64 {
+	switch v := s.src.(type) {
+	case *engine.Table:
+		return v.ApproxBytes()
+	case *engine.Database:
+		return v.Fact.ApproxBytes() // shared reduced dimensions counted once, separately
+	default:
+		return 0
+	}
+}
+
+// smallGroupPrepared is the runtime state of small group sampling: the
+// small group tables (one per column of S), the overall sample, and the
+// metadata catalog used for sample selection.
+type smallGroupPrepared struct {
+	db           *engine.Database
+	meta         *Metadata
+	cfg          SmallGroupConfig
+	tables       []sampleSource // indexed by ColumnMeta.Index
+	overall      sampleSource
+	overallScale float64 // 1 when the overall sample carries per-row weights
+	// sharedDims holds the renormalized storage's shared reduced dimension
+	// tables (nil for flat join synopses).
+	sharedDims []*engine.Table
+}
+
+// Meta exposes the metadata catalog (used by experiments and the CLI).
+func (p *smallGroupPrepared) Meta() *Metadata { return p.meta }
+
+// Tables exposes the flat small group tables in index order. It panics for
+// renormalized storage; use Sources then.
+func (p *smallGroupPrepared) Tables() []*engine.Table {
+	out := make([]*engine.Table, len(p.tables))
+	for i, s := range p.tables {
+		out[i] = s.src.(*engine.Table)
+	}
+	return out
+}
+
+// Overall exposes the overall sample table (flat storage only).
+func (p *smallGroupPrepared) Overall() *engine.Table { return p.overall.src.(*engine.Table) }
+
+// Plan builds the rewritten query: one step per relevant small group table
+// (chained bitmask filters avoid double counting) plus the scaled overall
+// sample step (§4.2.2).
+func (p *smallGroupPrepared) Plan(q *engine.Query) *RewritePlan {
+	relevant := p.meta.RelevantTables(q.GroupBy)
+	if max := p.cfg.MaxTablesPerQuery; max > 0 && len(relevant) > max {
+		// Runtime heuristic from §4.2.3: prefer the tables covering the most
+		// rows (largest rare mass), then restore index order for chaining.
+		sort.Slice(relevant, func(i, j int) bool { return relevant[i].RareRows > relevant[j].RareRows })
+		relevant = relevant[:max]
+		sort.Slice(relevant, func(i, j int) bool { return relevant[i].Index < relevant[j].Index })
+	}
+
+	plan := &RewritePlan{Query: q}
+	used := bitmask.New(p.meta.Width())
+	for _, ref := range relevant {
+		plan.Steps = append(plan.Steps, RewriteStep{
+			Source:  p.tables[ref.Index].src,
+			Name:    p.tables[ref.Index].name,
+			Exclude: used.Clone(),
+			Scale:   1,
+		})
+		used.Set(ref.Index)
+	}
+	plan.Steps = append(plan.Steps, RewriteStep{
+		Source:  p.overall.src,
+		Name:    p.overall.name,
+		Exclude: used,
+		Scale:   p.overallScale,
+	})
+	return plan
+}
+
+// usedTables reports which small group table indices a plan reads.
+func (p *smallGroupPrepared) usedTables(plan *RewritePlan) map[int]bool {
+	used := make(map[int]bool, len(plan.Steps))
+	for _, st := range plan.Steps[:len(plan.Steps)-1] {
+		for i, s := range p.tables {
+			if s.src == st.Source {
+				used[i] = true
+			}
+		}
+	}
+	return used
+}
+
+// Answer implements Prepared.
+func (p *smallGroupPrepared) Answer(q *engine.Query) (*Answer, error) {
+	start := time.Now()
+	plan := p.Plan(q)
+	combined, rowsRead, err := ExecutePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	// Mark exactness from the metadata: a group is exact when one of the
+	// used tables stores all of its rows undownsampled (§4.2.2: "answers for
+	// groups that result from querying small group tables are marked as
+	// being exact"). Under the multi-level extension, medium-band groups are
+	// estimated from their subsampled rows and stay inexact.
+	used := p.usedTables(plan)
+	for _, g := range combined.Groups() {
+		g.Exact = p.meta.GroupIsExact(q.GroupBy, g.Key, used)
+	}
+	ans := &Answer{
+		Result:    combined,
+		Intervals: ConfidenceIntervals(combined, p.cfg.ConfidenceLevel),
+		RowsRead:  rowsRead,
+		Elapsed:   time.Since(start),
+		Rewrite:   plan,
+	}
+	return ans, nil
+}
+
+// SampleRows implements Prepared.
+func (p *smallGroupPrepared) SampleRows() int64 {
+	n := p.overall.rows()
+	for _, t := range p.tables {
+		n += t.rows()
+	}
+	return n
+}
+
+// SampleBytes implements Prepared. For renormalized storage the shared
+// reduced dimension tables are counted once.
+func (p *smallGroupPrepared) SampleBytes() int64 {
+	b := p.overall.bytes()
+	for _, t := range p.tables {
+		b += t.bytes()
+	}
+	for _, d := range p.sharedDims {
+		b += d.ApproxBytes()
+	}
+	return b
+}
+
+// ExecutePlan runs every step of a rewrite plan and merges the partial
+// results, returning the combined result and total sample rows scanned.
+func ExecutePlan(plan *RewritePlan) (*engine.Result, int64, error) {
+	combined := engine.NewResult(plan.Query.GroupBy, plan.Query.Aggs)
+	var rowsRead int64
+	for _, st := range plan.Steps {
+		res, err := engine.Execute(st.Source, plan.Query, engine.ExecOptions{
+			Scale:       st.Scale,
+			ExcludeMask: st.Exclude,
+			MarkExact:   st.MarkExact,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		rowsRead += res.RowsScanned
+		if err := combined.Merge(res); err != nil {
+			return nil, 0, err
+		}
+	}
+	return combined, rowsRead, nil
+}
+
+// ConfidenceIntervals derives per-group, per-aggregate intervals from the
+// Horvitz-Thompson variance accumulators. Exact groups get zero-width
+// intervals; COUNT intervals are clamped at zero. This is the simple
+// single-stratum computation the paper highlights (§4.2.2): "confidence
+// interval calculation is very simple when using small group sampling
+// because the source of inaccuracy can be restricted to a single stratum".
+func ConfidenceIntervals(res *engine.Result, level float64) map[engine.GroupKey][]stats.Interval {
+	if level == 0 {
+		level = DefaultConfidenceLevel
+	}
+	z := stats.NormalQuantile(0.5 + level/2)
+	out := make(map[engine.GroupKey][]stats.Interval, res.NumGroups())
+	for _, k := range res.Keys() {
+		g := res.Group(k)
+		ivs := make([]stats.Interval, len(res.Aggs))
+		for i := range res.Aggs {
+			if g.Exact {
+				ivs[i] = stats.Exact(g.Vals[i])
+				continue
+			}
+			sd := math.Sqrt(math.Max(g.VarAcc[i], 0))
+			lo, hi := g.Vals[i]-z*sd, g.Vals[i]+z*sd
+			if res.Aggs[i].Kind == engine.Count && lo < 0 {
+				lo = 0
+			}
+			ivs[i] = stats.Interval{Lo: lo, Hi: hi, Level: level}
+		}
+		out[k] = ivs
+	}
+	return out
+}

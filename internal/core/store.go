@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dynsample/internal/engine"
+)
+
+// Persistence for pre-processed small group sampling state. The paper's
+// pre-processing phase stores sample tables and the metadata table "in the
+// database" (§3.1) so the runtime phase can use them across sessions;
+// SaveSmallGroup and LoadSmallGroup provide the same durability for this
+// implementation. A loaded Prepared answers queries without access to the
+// base data.
+
+const storeMagic = "DSSG"
+const storeVersion = 1
+
+// SaveSmallGroup serialises a small group sampling Prepared (as returned by
+// SmallGroup.Preprocess or a previous LoadSmallGroup).
+func SaveSmallGroup(w io.Writer, p Prepared) error {
+	sgp, ok := p.(*smallGroupPrepared)
+	if !ok {
+		return fmt.Errorf("core: %T is not small group sampling state", p)
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(storeMagic)
+	putU32(bw, storeVersion)
+
+	// Runtime configuration.
+	putF64(bw, sgp.cfg.ConfidenceLevel)
+	putU32(bw, uint32(sgp.cfg.MaxTablesPerQuery))
+	putF64(bw, sgp.overallScale)
+
+	// Metadata.
+	m := sgp.meta
+	putU64(bw, uint64(m.BaseRows))
+	putU32(bw, uint32(len(m.columns)))
+	for _, cm := range m.columns {
+		putString(bw, cm.Column)
+		putU32(bw, uint32(cm.Distinct))
+		putU64(bw, uint64(cm.RareRows))
+		putValueSet(bw, cm.Common)
+		if cm.Exact == nil {
+			bw.WriteByte(0)
+		} else {
+			bw.WriteByte(1)
+			putValueSet(bw, cm.Exact)
+		}
+	}
+	putU32(bw, uint32(len(m.pairs)))
+	for _, pm := range m.pairs {
+		putString(bw, pm.Cols[0])
+		putString(bw, pm.Cols[1])
+		putU64(bw, uint64(pm.RareRows))
+		putU32(bw, uint32(len(pm.Rare)))
+		for k := range pm.Rare {
+			putString(bw, string(k))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	// Tables (small group tables in index order, then the overall sample).
+	// Only flat join-synopsis storage is serialisable; renormalized sample
+	// sets must be rebuilt from the base data.
+	for _, t := range sgp.tables {
+		tbl, ok := t.src.(*engine.Table)
+		if !ok {
+			return fmt.Errorf("core: cannot save renormalized sample storage")
+		}
+		if err := engine.WriteBinary(tbl, w); err != nil {
+			return err
+		}
+	}
+	otbl, ok := sgp.overall.src.(*engine.Table)
+	if !ok {
+		return fmt.Errorf("core: cannot save renormalized sample storage")
+	}
+	return engine.WriteBinary(otbl, w)
+}
+
+// LoadSmallGroup reads state written by SaveSmallGroup.
+func LoadSmallGroup(r io.Reader) (Prepared, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading store header: %w", err)
+	}
+	if string(magic) != storeMagic {
+		return nil, fmt.Errorf("core: bad store magic %q", magic)
+	}
+	version, err := getU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != storeVersion {
+		return nil, fmt.Errorf("core: unsupported store version %d", version)
+	}
+
+	var cfg SmallGroupConfig
+	if cfg.ConfidenceLevel, err = getF64(br); err != nil {
+		return nil, err
+	}
+	maxTables, err := getU32(br)
+	if err != nil {
+		return nil, err
+	}
+	cfg.MaxTablesPerQuery = int(maxTables)
+	overallScale, err := getF64(br)
+	if err != nil {
+		return nil, err
+	}
+
+	baseRows, err := getU64(br)
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := getU32(br)
+	if err != nil {
+		return nil, err
+	}
+	metas := make([]ColumnMeta, ncols)
+	for i := range metas {
+		cm := &metas[i]
+		if cm.Column, err = getString(br); err != nil {
+			return nil, err
+		}
+		d, err := getU32(br)
+		if err != nil {
+			return nil, err
+		}
+		cm.Distinct = int(d)
+		rr, err := getU64(br)
+		if err != nil {
+			return nil, err
+		}
+		cm.RareRows = int64(rr)
+		if cm.Common, err = getValueSet(br); err != nil {
+			return nil, err
+		}
+		hasExact, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if hasExact == 1 {
+			if cm.Exact, err = getValueSet(br); err != nil {
+				return nil, err
+			}
+		}
+	}
+	meta := NewMetadata(int64(baseRows), metas)
+
+	npairs, err := getU32(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < npairs; i++ {
+		var pm PairMeta
+		if pm.Cols[0], err = getString(br); err != nil {
+			return nil, err
+		}
+		if pm.Cols[1], err = getString(br); err != nil {
+			return nil, err
+		}
+		rr, err := getU64(br)
+		if err != nil {
+			return nil, err
+		}
+		pm.RareRows = int64(rr)
+		nk, err := getU32(br)
+		if err != nil {
+			return nil, err
+		}
+		pm.Rare = make(map[engine.GroupKey]struct{}, nk)
+		for j := uint32(0); j < nk; j++ {
+			k, err := getString(br)
+			if err != nil {
+				return nil, err
+			}
+			pm.Rare[engine.GroupKey(k)] = struct{}{}
+		}
+		meta.AddPair(pm)
+	}
+
+	p := &smallGroupPrepared{meta: meta, cfg: cfg, overallScale: overallScale}
+	for i := 0; i < meta.Width(); i++ {
+		t, err := engine.ReadBinary(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading sample table %d: %w", i, err)
+		}
+		p.tables = append(p.tables, sampleSource{src: t, name: t.Name})
+	}
+	ot, err := engine.ReadBinary(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading overall sample: %w", err)
+	}
+	p.overall = sampleSource{src: ot, name: ot.Name}
+	return p, nil
+}
+
+func putU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func putU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func putF64(w *bufio.Writer, v float64) { putU64(w, math.Float64bits(v)) }
+
+func putString(w *bufio.Writer, s string) {
+	putU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func putValueSet(w *bufio.Writer, set map[engine.Value]struct{}) {
+	putU32(w, uint32(len(set)))
+	for v := range set {
+		putString(w, string(engine.EncodeKey([]engine.Value{v})))
+	}
+}
+
+func getU32(r *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func getU64(r *bufio.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func getF64(r *bufio.Reader) (float64, error) {
+	v, err := getU64(r)
+	return math.Float64frombits(v), err
+}
+
+func getString(r *bufio.Reader) (string, error) {
+	n, err := getU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("core: unreasonable string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func getValueSet(r *bufio.Reader) (map[engine.Value]struct{}, error) {
+	n, err := getU32(r)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[engine.Value]struct{}, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := getString(r)
+		if err != nil {
+			return nil, err
+		}
+		vals := engine.DecodeKey(engine.GroupKey(s))
+		if len(vals) != 1 {
+			return nil, fmt.Errorf("core: corrupt value entry")
+		}
+		set[vals[0]] = struct{}{}
+	}
+	return set, nil
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"sort"
+
+	"dynsample/internal/engine"
+)
+
+// TrimColumns implements the workload-based candidate-set trimming suggested
+// in §4.2.3 ("query workload information could also be used to trim the set
+// of columns for which small group tables are built by identifying
+// rarely-queried columns"): it returns the columns that appear as grouping
+// columns in at least minCount of the workload's queries, sorted by
+// decreasing reference count (ties broken by name). Pass the result as
+// SmallGroupConfig.Columns.
+func TrimColumns(workload []*engine.Query, minCount int) []string {
+	if minCount < 1 {
+		minCount = 1
+	}
+	counts := make(map[string]int)
+	for _, q := range workload {
+		for _, g := range q.GroupBy {
+			counts[g]++
+		}
+	}
+	var cols []string
+	for c, n := range counts {
+		if n >= minCount {
+			cols = append(cols, c)
+		}
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		if counts[cols[i]] != counts[cols[j]] {
+			return counts[cols[i]] > counts[cols[j]]
+		}
+		return cols[i] < cols[j]
+	})
+	return cols
+}

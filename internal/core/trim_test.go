@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"dynsample/internal/engine"
+)
+
+func q(cols ...string) *engine.Query {
+	return &engine.Query{GroupBy: cols, Aggs: []engine.Aggregate{{Kind: engine.Count}}}
+}
+
+func TestTrimColumns(t *testing.T) {
+	workload := []*engine.Query{
+		q("a", "b"), q("a"), q("a", "c"), q("b"), q("d"),
+	}
+	got := TrimColumns(workload, 2)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("TrimColumns = %v, want [a b]", got)
+	}
+	all := TrimColumns(workload, 1)
+	if len(all) != 4 {
+		t.Errorf("minCount=1 kept %v", all)
+	}
+	if all[0] != "a" {
+		t.Errorf("most-referenced column not first: %v", all)
+	}
+	if got := TrimColumns(nil, 0); got != nil {
+		t.Errorf("empty workload gave %v", got)
+	}
+}
+
+func TestTrimColumnsFeedsPreprocess(t *testing.T) {
+	db := skewedDB(t, 5000)
+	workload := []*engine.Query{q("a"), q("a", "b"), q("a")}
+	cols := TrimColumns(workload, 2) // keeps only "a"
+	p := prep(t, db, SmallGroupConfig{BaseRate: 0.05, DistinctLimit: 100, Seed: 11, Columns: cols})
+	if _, ok := p.Meta().Index("a"); !ok {
+		t.Error("trimmed set lost column a")
+	}
+	if _, ok := p.Meta().Index("b"); ok {
+		t.Error("column b survived trimming")
+	}
+}

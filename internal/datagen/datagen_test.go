@@ -1,0 +1,206 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"dynsample/internal/engine"
+)
+
+func TestTPCHShape(t *testing.T) {
+	db, err := TPCH(TPCHConfig{ScaleFactor: 0.1, Zipf: 1.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.NumRows(); got != 10000 {
+		t.Errorf("fact rows = %d, want 10000", got)
+	}
+	if len(db.Dims) != 4 {
+		t.Errorf("dims = %d, want 4", len(db.Dims))
+	}
+	for _, col := range []string{"l_quantity", "l_extendedprice", "l_shipmode",
+		"p_brand", "s_nation", "c_mktsegment", "o_orderpriority"} {
+		if !db.HasColumn(col) {
+			t.Errorf("missing column %q", col)
+		}
+	}
+	for _, fk := range []string{"part_fk", "supp_fk", "cust_fk", "ord_fk"} {
+		if db.HasColumn(fk) {
+			t.Errorf("FK column %q leaked into view", fk)
+		}
+	}
+	for _, m := range TPCHMeasures {
+		if !db.HasColumn(m) {
+			t.Errorf("measure %q missing", m)
+		}
+	}
+}
+
+func TestTPCHSkewIncreasesTopValueShare(t *testing.T) {
+	top := func(z float64) float64 {
+		db, err := TPCH(TPCHConfig{ScaleFactor: 0.05, Zipf: z, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vcs, err := db.DistinctValues("l_shipmode")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(vcs[0].Count) / float64(db.NumRows())
+	}
+	low, high := top(0.5), top(2.5)
+	if high <= low {
+		t.Errorf("top-value share did not grow with skew: z=0.5 %.3f vs z=2.5 %.3f", low, high)
+	}
+	if high < 0.7 {
+		t.Errorf("z=2.5 top share %.3f unexpectedly small", high)
+	}
+}
+
+func TestTPCHDeterministic(t *testing.T) {
+	a, err := TPCH(TPCHConfig{ScaleFactor: 0.02, Zipf: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TPCH(TPCHConfig{ScaleFactor: 0.02, Zipf: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, _ := a.Accessor("l_quantity")
+	qb, _ := b.Accessor("l_quantity")
+	for i := 0; i < a.NumRows(); i++ {
+		if qa.Value(i) != qb.Value(i) {
+			t.Fatalf("row %d differs across same-seed generations", i)
+		}
+	}
+}
+
+func TestTPCHValidation(t *testing.T) {
+	if _, err := TPCH(TPCHConfig{ScaleFactor: 0}); err == nil {
+		t.Error("zero scale factor not rejected")
+	}
+	if _, err := TPCH(TPCHConfig{ScaleFactor: 1, Zipf: -1}); err == nil {
+		t.Error("negative zipf not rejected")
+	}
+}
+
+func TestTPCHQueriesRun(t *testing.T) {
+	db, err := TPCH(TPCHConfig{ScaleFactor: 0.05, Zipf: 2.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &engine.Query{
+		GroupBy: []string{"s_region", "l_returnflag"},
+		Aggs:    []engine.Aggregate{{Kind: engine.Count}, {Kind: engine.Sum, Col: "l_extendedprice"}},
+	}
+	res, err := engine.ExecuteExact(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumGroups() == 0 {
+		t.Error("no groups")
+	}
+	var total float64
+	for _, g := range res.Groups() {
+		total += g.Vals[0]
+	}
+	if int(total) != db.NumRows() {
+		t.Errorf("counts sum to %d, want %d", int(total), db.NumRows())
+	}
+}
+
+func TestSalesShape(t *testing.T) {
+	db, err := Sales(SalesConfig{FactRows: 5000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRows() != 5000 {
+		t.Errorf("fact rows = %d", db.NumRows())
+	}
+	if len(db.Dims) != 6 {
+		t.Errorf("dims = %d, want 6", len(db.Dims))
+	}
+	// Column budget: roughly 245 logical columns (FKs excluded from view).
+	got := len(db.Columns())
+	if got < 200 || got > 245 {
+		t.Errorf("view columns = %d, want ~200-245", got)
+	}
+	for _, col := range []string{"product_line", "store_region", "customer_segment", "sale_amount"} {
+		if !db.HasColumn(col) {
+			t.Errorf("missing column %q", col)
+		}
+	}
+	for _, m := range SalesMeasures {
+		if !db.HasColumn(m) {
+			t.Errorf("measure %q missing", m)
+		}
+	}
+}
+
+func TestSalesMeasureSkew(t *testing.T) {
+	db, err := Sales(SalesConfig{FactRows: 20000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := db.Accessor("sale_amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, max float64
+	n := db.NumRows()
+	for i := 0; i < n; i++ {
+		v := acc.Float(i)
+		if v <= 0 {
+			t.Fatalf("non-positive sale_amount %g", v)
+		}
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	mean := sum / float64(n)
+	// Log-normal tail: the max should dwarf the mean.
+	if max < 10*mean {
+		t.Errorf("sale_amount not heavy-tailed: max %g mean %g", max, mean)
+	}
+}
+
+func TestSalesDeterministic(t *testing.T) {
+	a, _ := Sales(SalesConfig{FactRows: 1000, Seed: 9})
+	b, _ := Sales(SalesConfig{FactRows: 1000, Seed: 9})
+	accA, _ := a.Accessor("sale_amount")
+	accB, _ := b.Accessor("sale_amount")
+	for i := 0; i < 1000; i++ {
+		if math.Abs(accA.Float(i)-accB.Float(i)) > 0 {
+			t.Fatalf("row %d differs across same-seed generations", i)
+		}
+	}
+}
+
+func TestSalesValidation(t *testing.T) {
+	if _, err := Sales(SalesConfig{FactRows: 10}); err == nil {
+		t.Error("tiny FactRows not rejected")
+	}
+}
+
+func TestSalesDimensionJoins(t *testing.T) {
+	db, err := Sales(SalesConfig{FactRows: 2000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &engine.Query{
+		GroupBy: []string{"store_region"},
+		Aggs:    []engine.Aggregate{{Kind: engine.Count}},
+	}
+	res, err := engine.ExecuteExact(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, g := range res.Groups() {
+		total += g.Vals[0]
+	}
+	if int(total) != 2000 {
+		t.Errorf("counts sum to %d", int(total))
+	}
+}

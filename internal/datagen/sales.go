@@ -1,0 +1,171 @@
+package datagen
+
+import (
+	"fmt"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/randx"
+)
+
+// SalesConfig parameterises the SALES-like generator. The paper's real SALES
+// database had a star schema with an ~800k-row fact table, 6 dimension
+// tables (largest ~200k rows), 245 columns total, and moderate skew.
+type SalesConfig struct {
+	// FactRows is the fact-table size; zero means 80,000 (the paper's 800k
+	// scaled 10x down).
+	FactRows int
+	// Zipf is the categorical skew; zero means 1.2 (moderate: the paper
+	// observes SALES is "relatively less skewed than ... TPCH1G2.0z").
+	Zipf float64
+	// TotalColumns is the approximate total column budget across fact and
+	// dimensions; zero means 245 to match the paper.
+	TotalColumns int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c SalesConfig) withDefaults() SalesConfig {
+	if c.FactRows == 0 {
+		c.FactRows = 80000
+	}
+	if c.Zipf == 0 {
+		c.Zipf = 1.2
+	}
+	if c.TotalColumns == 0 {
+		c.TotalColumns = 245
+	}
+	return c
+}
+
+// SalesMeasures lists the fact measure columns suitable for SUM aggregates.
+var SalesMeasures = []string{"sale_amount", "units", "margin"}
+
+// salesDims describes the six dimensions: name, size divisor relative to the
+// fact table, and hand-named lead columns (the rest is generic padding).
+var salesDims = []struct {
+	name    string
+	divisor int
+	lead    []struct {
+		col  string
+		card int
+	}
+}{
+	{"product", 4, []struct {
+		col  string
+		card int
+	}{{"product_line", 12}, {"product_brand", 60}, {"product_family", 30}}},
+	{"store", 40, []struct {
+		col  string
+		card int
+	}{{"store_region", 8}, {"store_state", 50}, {"store_format", 6}}},
+	{"customer", 2, []struct {
+		col  string
+		card int
+	}{{"customer_segment", 7}, {"customer_industry", 24}}},
+	{"promotion", 200, []struct {
+		col  string
+		card int
+	}{{"promo_type", 10}, {"promo_channel", 5}}},
+	{"calendar", 400, []struct {
+		col  string
+		card int
+	}{{"cal_quarter", 8}, {"cal_month", 24}, {"cal_weekday", 7}}},
+	{"channel", 800, []struct {
+		col  string
+		card int
+	}{{"channel_type", 5}, {"channel_partner", 40}}},
+}
+
+// cardPalette is cycled through for padding columns, giving the wide mix of
+// cardinalities a real operational schema has.
+var cardPalette = []int{2, 3, 5, 8, 12, 20, 35, 50, 80, 120, 300, 800, 2000}
+
+// salesTailMass is the probability mass spread thinly across a categorical
+// column's non-head values: real operational columns have long thin tails
+// (consistent with the 80-20 rule the paper cites for SALES-like data).
+const salesTailMass = 0.08
+
+// Sales generates the SALES-like database.
+func Sales(cfg SalesConfig) (*engine.Database, error) {
+	cfg = cfg.withDefaults()
+	if cfg.FactRows < 100 {
+		return nil, fmt.Errorf("datagen: FactRows %d too small", cfg.FactRows)
+	}
+	rng := randx.New(cfg.Seed)
+	z := cfg.Zipf
+
+	// Fact gets a fixed set of direct columns; the remaining column budget is
+	// split evenly across dimensions as padding.
+	const factDirectCols = 8 // 3 measures + 5 categoricals below
+	leadCols := 0
+	for _, d := range salesDims {
+		leadCols += len(d.lead)
+	}
+	padding := cfg.TotalColumns - factDirectCols - leadCols - len(salesDims) // minus FK columns
+	if padding < 0 {
+		padding = 0
+	}
+	padPerDim := padding / len(salesDims)
+
+	var dims []engine.DimJoin
+	fkCols := make([]*engine.Column, len(salesDims))
+	for di, d := range salesDims {
+		rows := cfg.FactRows / d.divisor
+		if rows < 10 {
+			rows = 10
+		}
+		b := newDimBuilder(d.name, rows, rng, z)
+		for _, lc := range d.lead {
+			b.categoricalTailed(lc.col, lc.card, salesTailMass)
+		}
+		for p := 0; p < padPerDim; p++ {
+			card := cardPalette[(di*padPerDim+p)%len(cardPalette)]
+			b.categoricalTailed(fmt.Sprintf("%s_attr%02d", d.name, p), card, salesTailMass)
+		}
+		tbl := b.build()
+		fk := engine.NewColumn(d.name+"_fk", engine.Int)
+		fkCols[di] = fk
+		dims = append(dims, engine.DimJoin{Table: tbl, FK: d.name + "_fk"})
+	}
+
+	// Fact table.
+	saleAmount := engine.NewColumn("sale_amount", engine.Float)
+	units := engine.NewColumn("units", engine.Int)
+	margin := engine.NewColumn("margin", engine.Float)
+	orderType := engine.NewColumn("order_type", engine.String)
+	paymentMethod := engine.NewColumn("payment_method", engine.String)
+	shipMethod := engine.NewColumn("ship_method", engine.String)
+	priority := engine.NewColumn("priority", engine.String)
+	returned := engine.NewColumn("returned", engine.String)
+
+	cols := []*engine.Column{saleAmount, units, margin, orderType, paymentMethod, shipMethod, priority, returned}
+	cols = append(cols, fkCols...)
+	fact := engine.NewTable("sales_fact", cols...)
+
+	zUnits := randx.NewZipf(z, 30)
+	zOrder := randx.NewZipf(z, 6)
+	zPay := randx.NewZipf(z, 8)
+	zShip := randx.NewZipf(z, 5)
+	zPrio := randx.NewZipf(z, 4)
+	zRet := randx.NewZipf(z*1.5, 2) // returns are rare
+
+	for i := 0; i < cfg.FactRows; i++ {
+		u := int64(zUnits.Draw(rng) + 1)
+		amt := randx.LogNormal(rng, 4, 1.1) * float64(u)
+		saleAmount.AppendFloat(amt)
+		units.AppendInt(u)
+		margin.AppendFloat(amt * (0.05 + 0.3*rng.Float64()))
+		orderType.AppendString(fmt.Sprintf("order_%d", zOrder.Draw(rng)))
+		paymentMethod.AppendString(fmt.Sprintf("pay_%d", zPay.Draw(rng)))
+		shipMethod.AppendString(fmt.Sprintf("ship_%d", zShip.Draw(rng)))
+		priority.AppendString(fmt.Sprintf("prio_%d", zPrio.Draw(rng)))
+		returned.AppendString([]string{"N", "Y"}[zRet.Draw(rng)])
+		// Uniform FK references: the skew lives in the attribute values.
+		for di := range fkCols {
+			fkCols[di].AppendInt(int64(rng.Intn(dims[di].Table.NumRows())))
+		}
+		fact.EndRow()
+	}
+
+	return engine.NewDatabase("SALES", fact, dims...)
+}

@@ -1,0 +1,243 @@
+// Package datagen generates the synthetic databases of §5.2.1.
+//
+// TPCH builds a skewed TPC-H-like star schema in the spirit of the
+// Chaudhuri–Narasayya dbgen patch the paper used: the benchmark's schema
+// shape with every categorical column drawn from a truncated Zipf
+// distribution of configurable skew z ("TPCHxGyz refers to a database
+// generated with scaling factor x and Zipf parameter z = y").
+//
+// Sales builds a stand-in for the paper's proprietary corporate SALES
+// database: a star schema with six dimension tables and a wide set of
+// mixed-cardinality categorical columns at moderate skew. The paper's
+// findings on SALES depend only on this shape (less skew than TPCH2.0z, many
+// candidate grouping columns), which the generator preserves.
+//
+// Row counts are scaled down from the paper's 1-5 GB databases so the whole
+// suite runs on one machine; sampling rates are fractions, so accuracy
+// trends are preserved. See DESIGN.md §3 for the substitution rationale.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/randx"
+)
+
+// DefaultRowsPerSF is the number of fact rows per unit of scale factor
+// (the real benchmark's 6M lineitems per SF scaled down 60x).
+const DefaultRowsPerSF = 100000
+
+// TPCHConfig parameterises the skewed TPC-H-like generator.
+type TPCHConfig struct {
+	// ScaleFactor is x in TPCHxGyz. Fact rows = ScaleFactor * RowsPerSF.
+	ScaleFactor float64
+	// Zipf is z in TPCHxGyz, the skew of every categorical column.
+	Zipf float64
+	// RowsPerSF overrides DefaultRowsPerSF.
+	RowsPerSF int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// TPCHMeasures lists the fact measure columns suitable for SUM aggregates.
+var TPCHMeasures = []string{"l_quantity", "l_extendedprice"}
+
+// TPCH generates the database. Dimension sizes scale with the fact table.
+func TPCH(cfg TPCHConfig) (*engine.Database, error) {
+	if cfg.ScaleFactor <= 0 {
+		return nil, fmt.Errorf("datagen: scale factor %g must be positive", cfg.ScaleFactor)
+	}
+	if cfg.Zipf < 0 {
+		return nil, fmt.Errorf("datagen: zipf %g must be >= 0", cfg.Zipf)
+	}
+	rowsPerSF := cfg.RowsPerSF
+	if rowsPerSF == 0 {
+		rowsPerSF = DefaultRowsPerSF
+	}
+	factRows := int(cfg.ScaleFactor * float64(rowsPerSF))
+	if factRows < 1 {
+		return nil, fmt.Errorf("datagen: configuration yields %d fact rows", factRows)
+	}
+	rng := randx.New(cfg.Seed)
+	z := cfg.Zipf
+
+	dimScale := factRows / 50
+	if dimScale < 20 {
+		dimScale = 20
+	}
+
+	part := newDimBuilder("part", dimScale, rng, z)
+	part.categorical("p_mfgr", 5)
+	part.categorical("p_brand", 25)
+	part.categorical("p_category", 25)
+	part.categorical("p_container", 40)
+	part.categorical("p_size", 50)
+	part.categorical("p_type", 150)
+	part.categorical("p_color", 20)
+	part.categoricalInt("p_retail_bucket", 30)
+	partTable := part.build()
+
+	supplier := newDimBuilder("supplier", dimScale/4+10, rng, z)
+	supplier.categorical("s_nation", 25)
+	supplier.categorical("s_region", 5)
+	supplier.categorical("s_city", 250)
+	supplier.categoricalInt("s_acctbal_bucket", 10)
+	supplierTable := supplier.build()
+
+	customer := newDimBuilder("customer", dimScale/2+10, rng, z)
+	customer.categorical("c_nation", 25)
+	customer.categorical("c_region", 5)
+	customer.categorical("c_mktsegment", 5)
+	customer.categorical("c_city", 250)
+	customer.categoricalInt("c_age_bucket", 8)
+	customerTable := customer.build()
+
+	// High-cardinality attributes (dates, clerks) are where small groups
+	// live: a Zipf tail of mass <= t only exists once the number of distinct
+	// values is large enough. Real TPC-H has ~2,400 distinct dates and ~1,000
+	// clerks per GB.
+	orders := newDimBuilder("orders", factRows/4+10, rng, z)
+	orders.categorical("o_orderpriority", 5)
+	orders.categorical("o_orderstatus", 3)
+	orders.categorical("o_clerk", 1000)
+	orders.categoricalInt("o_orderdate", 2400)
+	orders.categoricalInt("o_ordermonth", 12)
+	orders.categoricalInt("o_orderyear", 7)
+	ordersTable := orders.build()
+
+	// Fact table: lineitem.
+	quantity := engine.NewColumn("l_quantity", engine.Int)
+	price := engine.NewColumn("l_extendedprice", engine.Float)
+	discount := engine.NewColumn("l_discount", engine.Int)
+	tax := engine.NewColumn("l_tax", engine.Int)
+	returnflag := engine.NewColumn("l_returnflag", engine.String)
+	linestatus := engine.NewColumn("l_linestatus", engine.String)
+	shipmode := engine.NewColumn("l_shipmode", engine.String)
+	shipinstruct := engine.NewColumn("l_shipinstruct", engine.String)
+	shipdate := engine.NewColumn("l_shipdate", engine.Int)
+	partFK := engine.NewColumn("part_fk", engine.Int)
+	suppFK := engine.NewColumn("supp_fk", engine.Int)
+	custFK := engine.NewColumn("cust_fk", engine.Int)
+	ordFK := engine.NewColumn("ord_fk", engine.Int)
+	fact := engine.NewTable("lineitem", quantity, price, discount, tax,
+		returnflag, linestatus, shipmode, shipinstruct, shipdate,
+		partFK, suppFK, custFK, ordFK)
+
+	zq := randx.NewZipf(z, 50)
+	zdisc := randx.NewZipf(z, 11)
+	ztax := randx.NewZipf(z, 9)
+	zrf := randx.NewZipf(z, 3)
+	zls := randx.NewZipf(z, 2)
+	zsm := randx.NewZipf(z, 7)
+	zsi := randx.NewZipf(z, 4)
+	zsd := randx.NewZipf(z, 2400)
+
+	for i := 0; i < factRows; i++ {
+		q := int64(zq.Draw(rng) + 1)
+		quantity.AppendInt(q)
+		price.AppendFloat(float64(q) * (900 + 100*rng.Float64()) * float64(1+zdisc.Draw(rng)))
+		discount.AppendInt(int64(zdisc.Draw(rng)))
+		tax.AppendInt(int64(ztax.Draw(rng)))
+		returnflag.AppendString([]string{"A", "N", "R"}[zrf.Draw(rng)])
+		linestatus.AppendString([]string{"O", "F"}[zls.Draw(rng)])
+		shipmode.AppendString([]string{"AIR", "TRUCK", "MAIL", "SHIP", "RAIL", "REG AIR", "FOB"}[zsm.Draw(rng)])
+		shipinstruct.AppendString([]string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}[zsi.Draw(rng)])
+		shipdate.AppendInt(int64(zsd.Draw(rng)))
+		// Foreign keys reference dimension rows uniformly, as in the real
+		// benchmark; the skew lives in the attribute values. (Skewing the FK
+		// draws too would compound with attribute skew and collapse the
+		// dimensions' realised cardinality.)
+		partFK.AppendInt(int64(rng.Intn(partTable.NumRows())))
+		suppFK.AppendInt(int64(rng.Intn(supplierTable.NumRows())))
+		custFK.AppendInt(int64(rng.Intn(customerTable.NumRows())))
+		ordFK.AppendInt(int64(rng.Intn(ordersTable.NumRows())))
+		fact.EndRow()
+	}
+
+	name := fmt.Sprintf("TPCH%gG%.1fz", cfg.ScaleFactor, cfg.Zipf)
+	return engine.NewDatabase(name, fact,
+		engine.DimJoin{Table: partTable, FK: "part_fk"},
+		engine.DimJoin{Table: supplierTable, FK: "supp_fk"},
+		engine.DimJoin{Table: customerTable, FK: "cust_fk"},
+		engine.DimJoin{Table: ordersTable, FK: "ord_fk"},
+	)
+}
+
+// dimBuilder assembles a dimension table of categorical columns.
+type dimBuilder struct {
+	name string
+	rows int
+	rng  *rand.Rand
+	z    float64
+	cols []*engine.Column
+}
+
+func newDimBuilder(name string, rows int, rng *rand.Rand, z float64) *dimBuilder {
+	return &dimBuilder{name: name, rows: rows, rng: rng, z: z}
+}
+
+// categorical adds a string column with the given number of distinct values,
+// drawn Zipf(z).
+func (b *dimBuilder) categorical(col string, card int) {
+	c := engine.NewColumn(col, engine.String)
+	zipf := randx.NewZipf(b.z, card)
+	for i := 0; i < b.rows; i++ {
+		c.AppendString(fmt.Sprintf("%s_%03d", col, zipf.Draw(b.rng)))
+	}
+	b.cols = append(b.cols, c)
+}
+
+// categoricalInt adds an integer column with the given number of distinct
+// values, drawn Zipf(z). Used for date-like attributes.
+func (b *dimBuilder) categoricalInt(col string, card int) {
+	c := engine.NewColumn(col, engine.Int)
+	zipf := randx.NewZipf(b.z, card)
+	for i := 0; i < b.rows; i++ {
+		c.AppendInt(int64(zipf.Draw(b.rng)))
+	}
+	b.cols = append(b.cols, c)
+}
+
+// categoricalTailed adds a string column with a head-and-tail mixture
+// distribution: a few dominant values share most of the mass (Zipf z over
+// the head) while the remaining values split tailMass thinly. This matches
+// real operational categoricals (a handful of big categories plus a long
+// thin tail) better than a truncated Zipf, whose rarest value still carries
+// c^-z/H of the mass.
+func (b *dimBuilder) categoricalTailed(col string, card int, tailMass float64) {
+	head := card / 6
+	if head < 2 {
+		head = 2
+	}
+	if head > 8 {
+		head = 8
+	}
+	if head >= card {
+		b.categorical(col, card)
+		return
+	}
+	weights := make([]float64, card)
+	headZ := randx.NewZipf(b.z, head)
+	for i := 0; i < head; i++ {
+		weights[i] = (1 - tailMass) * headZ.Prob(i)
+	}
+	// The tail decays geometrically (Zipf 1.5) regardless of the head skew:
+	// deep-tail values carry vanishing mass, as in real categoricals.
+	tailZ := randx.NewZipf(1.5, card-head)
+	for i := head; i < card; i++ {
+		weights[i] = tailMass * tailZ.Prob(i-head)
+	}
+	dist := randx.NewCategorical(weights)
+	c := engine.NewColumn(col, engine.String)
+	for i := 0; i < b.rows; i++ {
+		c.AppendString(fmt.Sprintf("%s_%03d", col, dist.Draw(b.rng)))
+	}
+	b.cols = append(b.cols, c)
+}
+
+func (b *dimBuilder) build() *engine.Table {
+	t := engine.NewTable(b.name, b.cols...)
+	return t
+}

@@ -1,0 +1,134 @@
+package engine
+
+import "fmt"
+
+// Column is a typed, densely packed column of values. String columns are
+// dictionary-encoded: distinct strings are stored once and rows hold int32
+// codes, which keeps wide categorical schemas (like the 245-column SALES
+// database in the paper) compact.
+type Column struct {
+	Name string
+	Type Type
+
+	ints   []int64
+	floats []float64
+	codes  []int32
+	dict   []string
+	dictIx map[string]int32
+}
+
+// NewColumn returns an empty column of the given type.
+func NewColumn(name string, t Type) *Column {
+	c := &Column{Name: name, Type: t}
+	if t == String {
+		c.dictIx = make(map[string]int32)
+	}
+	return c
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case Int:
+		return len(c.ints)
+	case Float:
+		return len(c.floats)
+	default:
+		return len(c.codes)
+	}
+}
+
+// Append adds a value to the column. The value type must match.
+func (c *Column) Append(v Value) {
+	if v.T != c.Type {
+		panic(fmt.Sprintf("engine: append %s value to %s column %q", v.T, c.Type, c.Name))
+	}
+	switch c.Type {
+	case Int:
+		c.ints = append(c.ints, v.I)
+	case Float:
+		c.floats = append(c.floats, v.F)
+	default:
+		c.appendString(v.S)
+	}
+}
+
+// AppendInt adds an int64 without boxing. The column must be Int-typed.
+func (c *Column) AppendInt(v int64) {
+	if c.Type != Int {
+		panic(fmt.Sprintf("engine: AppendInt on %s column %q", c.Type, c.Name))
+	}
+	c.ints = append(c.ints, v)
+}
+
+// AppendFloat adds a float64 without boxing. The column must be Float-typed.
+func (c *Column) AppendFloat(v float64) {
+	if c.Type != Float {
+		panic(fmt.Sprintf("engine: AppendFloat on %s column %q", c.Type, c.Name))
+	}
+	c.floats = append(c.floats, v)
+}
+
+// AppendString adds a string without boxing. The column must be String-typed.
+func (c *Column) AppendString(v string) {
+	if c.Type != String {
+		panic(fmt.Sprintf("engine: AppendString on %s column %q", c.Type, c.Name))
+	}
+	c.appendString(v)
+}
+
+func (c *Column) appendString(s string) {
+	code, ok := c.dictIx[s]
+	if !ok {
+		code = int32(len(c.dict))
+		c.dict = append(c.dict, s)
+		c.dictIx[s] = code
+	}
+	c.codes = append(c.codes, code)
+}
+
+// Value returns the value at row i.
+func (c *Column) Value(i int) Value {
+	switch c.Type {
+	case Int:
+		return IntVal(c.ints[i])
+	case Float:
+		return FloatVal(c.floats[i])
+	default:
+		return StringVal(c.dict[c.codes[i]])
+	}
+}
+
+// Int returns the raw int64 at row i. The column must be Int-typed.
+func (c *Column) Int(i int) int64 { return c.ints[i] }
+
+// Float returns the value at row i as a float64 for aggregation.
+func (c *Column) Float(i int) float64 {
+	switch c.Type {
+	case Int:
+		return float64(c.ints[i])
+	case Float:
+		return c.floats[i]
+	default:
+		return 0
+	}
+}
+
+// DistinctApprox returns the number of distinct values seen so far for
+// dictionary-encoded columns, or -1 for numeric columns (unknown without a
+// scan).
+func (c *Column) DistinctApprox() int {
+	if c.Type == String {
+		return len(c.dict)
+	}
+	return -1
+}
+
+// Code returns the dictionary code at row i. The column must be String-typed.
+func (c *Column) Code(i int) int32 { return c.codes[i] }
+
+// DictSize returns the dictionary size. The column must be String-typed.
+func (c *Column) DictSize() int { return len(c.dict) }
+
+// DictValue returns the string for a dictionary code.
+func (c *Column) DictValue(code int32) string { return c.dict[code] }

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"dynsample/internal/bitmask"
+)
+
+// DimJoin links a fact-table foreign-key column to a dimension table whose
+// primary key is the row index (0..NumRows-1). This models the star schemas
+// with foreign-key joins that the paper restricts itself to (§4): "foreign-key
+// joins represent the majority of joins in actual data analysis applications".
+type DimJoin struct {
+	Table *Table
+	FK    string // name of the fact column holding row ids into Table
+}
+
+// Database is a single fact table optionally joined to dimension tables.
+// Following §4.2.1, "the database" that sampling operates over is the view
+// resulting from joining the fact table to the dimension tables; Database
+// exposes that view's columns uniformly whether they live in the fact table
+// or a dimension.
+//
+// Column names must be unique across the whole schema (the generators
+// qualify them, e.g. "p_brand"), so queries reference columns by bare name.
+type Database struct {
+	Name string
+	Fact *Table
+	Dims []DimJoin
+
+	bindings map[string]binding
+	colNames []string // all view columns, schema order
+}
+
+type binding struct {
+	col *Column
+	fk  *Column // nil for fact columns
+}
+
+// NewDatabase assembles a star schema and validates it. FK columns are
+// physical only: they do not appear among the view's logical columns.
+func NewDatabase(name string, fact *Table, dims ...DimJoin) (*Database, error) {
+	db := &Database{Name: name, Fact: fact, Dims: dims, bindings: make(map[string]binding)}
+	fkCols := make(map[string]bool, len(dims))
+	for _, d := range dims {
+		fk := fact.Column(d.FK)
+		if fk == nil {
+			return nil, fmt.Errorf("engine: fact table %q has no FK column %q", fact.Name, d.FK)
+		}
+		if fk.Type != Int {
+			return nil, fmt.Errorf("engine: FK column %q must be INT", d.FK)
+		}
+		fkCols[d.FK] = true
+	}
+	for _, c := range fact.Columns() {
+		if fkCols[c.Name] {
+			continue
+		}
+		if err := db.bind(c.Name, binding{col: c}); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range dims {
+		fk := fact.MustColumn(d.FK)
+		for _, c := range d.Table.Columns() {
+			if err := db.bind(c.Name, binding{col: c, fk: fk}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// MustNewDatabase is NewDatabase that panics on error, for tests and generators.
+func MustNewDatabase(name string, fact *Table, dims ...DimJoin) *Database {
+	db, err := NewDatabase(name, fact, dims...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func (db *Database) bind(name string, b binding) error {
+	if _, dup := db.bindings[name]; dup {
+		return fmt.Errorf("engine: duplicate column name %q across star schema", name)
+	}
+	db.bindings[name] = b
+	db.colNames = append(db.colNames, name)
+	return nil
+}
+
+// NumRows returns the number of rows in the joined view (= fact rows).
+func (db *Database) NumRows() int { return db.Fact.NumRows() }
+
+// Columns returns the names of all view columns in schema order.
+func (db *Database) Columns() []string {
+	out := make([]string, len(db.colNames))
+	copy(out, db.colNames)
+	return out
+}
+
+// HasColumn reports whether the view exposes the named column.
+func (db *Database) HasColumn(name string) bool {
+	_, ok := db.bindings[name]
+	return ok
+}
+
+// ColumnType returns the type of a view column.
+func (db *Database) ColumnType(name string) (Type, error) {
+	b, ok := db.bindings[name]
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown column %q", name)
+	}
+	return b.col.Type, nil
+}
+
+// Accessor implements Source.
+func (db *Database) Accessor(name string) (ColumnAccessor, error) {
+	b, ok := db.bindings[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown column %q", name)
+	}
+	if b.fk == nil {
+		return b.col, nil
+	}
+	if b.col.Type == String {
+		return &fkCodeAccessor{fkAccessor{fk: b.fk, col: b.col}}, nil
+	}
+	return &fkAccessor{fk: b.fk, col: b.col}, nil
+}
+
+// RowMask implements Source, delegating to the fact table (renormalized
+// sample databases carry masks there; base databases have none).
+func (db *Database) RowMask(row int) (bitmask.Mask, bool) { return db.Fact.RowMask(row) }
+
+// RowWeight implements Source, delegating to the fact table.
+func (db *Database) RowWeight(row int) float64 { return db.Fact.RowWeight(row) }
+
+// fkAccessor reads a dimension column through a fact FK column.
+type fkAccessor struct {
+	fk  *Column
+	col *Column
+}
+
+func (a *fkAccessor) Value(row int) Value   { return a.col.Value(int(a.fk.Int(row))) }
+func (a *fkAccessor) Float(row int) float64 { return a.col.Float(int(a.fk.Int(row))) }
+func (a *fkAccessor) Type() Type            { return a.col.Type }
+
+// fkCodeAccessor adds dictionary-code access for string dimension columns.
+type fkCodeAccessor struct{ fkAccessor }
+
+func (a *fkCodeAccessor) Code(row int) int32          { return a.col.Code(int(a.fk.Int(row))) }
+func (a *fkCodeAccessor) DictSize() int               { return a.col.DictSize() }
+func (a *fkCodeAccessor) DictValue(code int32) string { return a.col.DictValue(code) }
+
+// Flatten materialises the joined view for the given fact-row indices into a
+// single flat table containing every view column. This is the "join synopsis"
+// construction from [3] that the paper applies to sample tables (§5.2.2): each
+// sample table is stored pre-joined so runtime queries scan it directly.
+//
+// masks and weights, when non-nil, are attached per emitted row and must have
+// len(rows) entries.
+func (db *Database) Flatten(name string, rows []int, masks []bitmask.Mask, weights []float64) *Table {
+	if masks != nil && len(masks) != len(rows) {
+		panic("engine: Flatten masks length mismatch")
+	}
+	if weights != nil && len(weights) != len(rows) {
+		panic("engine: Flatten weights length mismatch")
+	}
+	cols := make([]*Column, len(db.colNames))
+	copiers := make([]func(r int), len(db.colNames))
+	for i, cn := range db.colNames {
+		b := db.bindings[cn]
+		col := NewColumn(cn, b.col.Type)
+		cols[i] = col
+		acc, err := db.Accessor(cn)
+		if err != nil {
+			panic(err)
+		}
+		switch b.col.Type {
+		case String:
+			// Translate dictionary codes directly; far cheaper than
+			// re-hashing every string.
+			ca := acc.(CodeAccessor)
+			codeMap := make([]int32, ca.DictSize())
+			for j := range codeMap {
+				codeMap[j] = -1
+			}
+			copiers[i] = func(r int) {
+				code := ca.Code(r)
+				if codeMap[code] < 0 {
+					codeMap[code] = int32(col.DictSize())
+					col.AppendString(ca.DictValue(code))
+					return
+				}
+				col.codes = append(col.codes, codeMap[code])
+			}
+		case Int:
+			copiers[i] = func(r int) { col.AppendInt(acc.Value(r).I) }
+		default:
+			copiers[i] = func(r int) { col.AppendFloat(acc.Float(r)) }
+		}
+	}
+	out := NewTable(name, cols...)
+	for _, r := range rows {
+		for i := range copiers {
+			copiers[i](r)
+		}
+		out.rows++
+	}
+	out.Masks = masks
+	out.Weights = weights
+	return out
+}
+
+// TotalBytes estimates the size of the base data (fact + dimensions).
+func (db *Database) TotalBytes() int64 {
+	b := db.Fact.ApproxBytes()
+	for _, d := range db.Dims {
+		b += d.Table.ApproxBytes()
+	}
+	return b
+}
+
+// DistinctValues scans a view column and returns its distinct values with
+// exact counts, most frequent first (ties broken by value order for
+// determinism). Used by tests and by baseline strategies.
+func (db *Database) DistinctValues(name string) ([]ValueCount, error) {
+	acc, err := db.Accessor(name)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[Value]int64)
+	n := db.NumRows()
+	for i := 0; i < n; i++ {
+		counts[acc.Value(i)]++
+	}
+	return sortValueCounts(counts), nil
+}
+
+// ValueCount pairs a column value with its number of occurrences.
+type ValueCount struct {
+	Value Value
+	Count int64
+}
+
+func sortValueCounts(counts map[Value]int64) []ValueCount {
+	out := make([]ValueCount, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value.Less(out[j].Value)
+	})
+	return out
+}

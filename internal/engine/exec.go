@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+
+	"dynsample/internal/bitmask"
+)
+
+// ExecOptions modify a query execution against a sample table, implementing
+// the rewriting knobs of §4.2.2: scaling aggregate values by the inverse
+// sampling rate and filtering out rows already counted by an earlier sample
+// table via the bitmask field.
+type ExecOptions struct {
+	// Scale multiplies every aggregate contribution. Zero means 1 (no
+	// scaling), so the zero value of ExecOptions is exact execution.
+	Scale float64
+	// ExcludeMask, when non-empty, skips any row whose membership mask
+	// shares a bit with it — the "WHERE bitmask & m = 0" filter.
+	ExcludeMask bitmask.Mask
+	// MarkExact marks every produced group as exact (used for small group
+	// tables, which are not downsampled).
+	MarkExact bool
+}
+
+// Execute runs a group-by aggregation query against a source. Per-row
+// weights (for weighted samples) are always honoured; uniform sources have
+// weight 1. The result's group values are sums of weight*Scale*x where x is
+// 1 for COUNT and the measure value for SUM.
+func Execute(src Source, q *Query, opt ExecOptions) (*Result, error) {
+	scale := opt.Scale
+	if scale == 0 {
+		scale = 1
+	}
+
+	groupAccs := make([]ColumnAccessor, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		acc, err := src.Accessor(g)
+		if err != nil {
+			return nil, fmt.Errorf("group-by column: %w", err)
+		}
+		groupAccs[i] = acc
+	}
+
+	aggAccs := make([]ColumnAccessor, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Kind == Sum {
+			acc, err := src.Accessor(a.Col)
+			if err != nil {
+				return nil, fmt.Errorf("aggregate column: %w", err)
+			}
+			aggAccs[i] = acc
+		}
+	}
+
+	type boundPred struct {
+		acc ColumnAccessor
+		p   Predicate
+	}
+	preds := make([]boundPred, len(q.Where))
+	for i, p := range q.Where {
+		acc, err := src.Accessor(p.Column())
+		if err != nil {
+			return nil, fmt.Errorf("predicate column: %w", err)
+		}
+		preds[i] = boundPred{acc: acc, p: p}
+	}
+
+	res := NewResult(q.GroupBy, q.Aggs)
+	keyVals := make([]Value, len(q.GroupBy))
+	keyBuf := make([]byte, 0, 64)
+	filtering := opt.ExcludeMask.Width() > 0
+
+	n := src.NumRows()
+rows:
+	for row := 0; row < n; row++ {
+		if filtering {
+			if m, ok := src.RowMask(row); ok && m.Intersects(opt.ExcludeMask) {
+				continue
+			}
+		}
+		res.RowsScanned++
+		for _, bp := range preds {
+			if !bp.p.Matches(bp.acc.Value(row)) {
+				continue rows
+			}
+		}
+		res.RowsMatched++
+
+		for i, acc := range groupAccs {
+			keyVals[i] = acc.Value(row)
+		}
+		keyBuf = AppendKey(keyBuf[:0], keyVals)
+		g, ok := res.lookup(keyBuf)
+		if !ok {
+			g = res.insert(string(keyBuf), append([]Value(nil), keyVals...))
+		}
+
+		w := src.RowWeight(row) * scale
+		for i := range q.Aggs {
+			x := 1.0
+			if q.Aggs[i].Kind == Sum {
+				x = aggAccs[i].Float(row)
+			}
+			g.Vals[i] += w * x
+			g.RawSum[i] += x
+			g.RawSumSq[i] += x * x
+			g.VarAcc[i] += w * (w - 1) * x * x
+		}
+		g.RawRows++
+		if opt.MarkExact {
+			g.Exact = true
+		}
+	}
+	return res, nil
+}
+
+// ExecuteExact runs a query against the base database with no sampling; the
+// ground truth for accuracy experiments.
+func ExecuteExact(db *Database, q *Query) (*Result, error) {
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	res, err := Execute(db, q, ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range res.Groups() {
+		g.Exact = true
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Predicate is a selection condition on a single column. Queries AND their
+// predicates together, matching the workload of §5.2.3 ("the WHERE clause
+// included the conjunction of all predicates").
+type Predicate interface {
+	// Column names the column the predicate tests.
+	Column() string
+	// Matches reports whether a value satisfies the predicate.
+	Matches(v Value) bool
+	// String renders the predicate as SQL.
+	String() string
+}
+
+// InPredicate restricts a column to a set of values — the predicate form the
+// paper's workload generator produces ("restricting to rows whose values for
+// that column were from a randomly-chosen subset of the distinct values").
+type InPredicate struct {
+	Col string
+	Set map[Value]struct{}
+}
+
+// NewIn builds an InPredicate over the given values.
+func NewIn(col string, vals ...Value) *InPredicate {
+	set := make(map[Value]struct{}, len(vals))
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	return &InPredicate{Col: col, Set: set}
+}
+
+// Column implements Predicate.
+func (p *InPredicate) Column() string { return p.Col }
+
+// Matches implements Predicate.
+func (p *InPredicate) Matches(v Value) bool {
+	_, ok := p.Set[v]
+	return ok
+}
+
+// Values returns the predicate's value set in deterministic order.
+func (p *InPredicate) Values() []Value {
+	vals := make([]Value, 0, len(p.Set))
+	for v := range p.Set {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Less(vals[j]) })
+	return vals
+}
+
+// String implements Predicate.
+func (p *InPredicate) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.Col)
+	sb.WriteString(" IN (")
+	for i, v := range p.Values() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// CmpOp is a scalar comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// CmpPredicate compares a column against a literal.
+type CmpPredicate struct {
+	Col string
+	Op  CmpOp
+	Val Value
+}
+
+// NewCmp builds a comparison predicate.
+func NewCmp(col string, op CmpOp, val Value) *CmpPredicate {
+	return &CmpPredicate{Col: col, Op: op, Val: val}
+}
+
+// Column implements Predicate.
+func (p *CmpPredicate) Column() string { return p.Col }
+
+// Matches implements Predicate.
+func (p *CmpPredicate) Matches(v Value) bool {
+	switch p.Op {
+	case Eq:
+		return v == p.Val
+	case Ne:
+		return v != p.Val
+	case Lt:
+		return v.Less(p.Val)
+	case Le:
+		return !p.Val.Less(v)
+	case Gt:
+		return p.Val.Less(v)
+	case Ge:
+		return !v.Less(p.Val)
+	default:
+		panic(fmt.Sprintf("engine: bad CmpOp %d", p.Op))
+	}
+}
+
+// String implements Predicate.
+func (p *CmpPredicate) String() string {
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val)
+}
+
+// RangePredicate keeps values in [Lo, Hi] (BETWEEN semantics, inclusive).
+type RangePredicate struct {
+	Col    string
+	Lo, Hi Value
+}
+
+// NewRange builds a BETWEEN predicate.
+func NewRange(col string, lo, hi Value) *RangePredicate {
+	return &RangePredicate{Col: col, Lo: lo, Hi: hi}
+}
+
+// Column implements Predicate.
+func (p *RangePredicate) Column() string { return p.Col }
+
+// Matches implements Predicate.
+func (p *RangePredicate) Matches(v Value) bool {
+	return !v.Less(p.Lo) && !p.Hi.Less(v)
+}
+
+// String implements Predicate.
+func (p *RangePredicate) String() string {
+	return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, p.Lo, p.Hi)
+}

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dynsample/internal/bitmask"
+	"dynsample/internal/randx"
+)
+
+// naiveExecute is an independent, obviously-correct evaluator used as a
+// reference: it materialises every row as values and aggregates with plain
+// maps, sharing no code with the production executor.
+func naiveExecute(src Source, allCols []string, q *Query, opt ExecOptions) map[string][]float64 {
+	scale := opt.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	out := make(map[string][]float64)
+	n := src.NumRows()
+	for row := 0; row < n; row++ {
+		if opt.ExcludeMask.Width() > 0 {
+			if m, ok := src.RowMask(row); ok && m.Intersects(opt.ExcludeMask) {
+				continue
+			}
+		}
+		ok := true
+		for _, p := range q.Where {
+			acc, err := src.Accessor(p.Column())
+			if err != nil {
+				panic(err)
+			}
+			if !p.Matches(acc.Value(row)) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		key := ""
+		for _, g := range q.GroupBy {
+			acc, _ := src.Accessor(g)
+			key += "\x01" + acc.Value(row).String()
+		}
+		vals, exists := out[key]
+		if !exists {
+			vals = make([]float64, len(q.Aggs))
+		}
+		w := src.RowWeight(row) * scale
+		for i, a := range q.Aggs {
+			x := 1.0
+			if a.Kind == Sum {
+				acc, _ := src.Accessor(a.Col)
+				x = acc.Float(row)
+			}
+			vals[i] += w * x
+		}
+		out[key] = vals
+	}
+	return out
+}
+
+// TestExecuteMatchesNaiveReference cross-checks the production executor
+// against the naive evaluator over randomly generated databases, queries,
+// masks and weights.
+func TestExecuteMatchesNaiveReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := randx.New(seed)
+		n := 200 + rng.Intn(800)
+
+		a := NewColumn("a", String)
+		b := NewColumn("b", Int)
+		c := NewColumn("c", Float)
+		tbl := NewTable("t", a, b, c)
+		za := randx.NewZipf(0.5+rng.Float64()*2, 2+rng.Intn(20))
+		for i := 0; i < n; i++ {
+			a.AppendString("v" + string(rune('a'+za.Draw(rng)%26)))
+			b.AppendInt(int64(rng.Intn(8)))
+			c.AppendFloat(rng.NormFloat64() * 10)
+			tbl.EndRow()
+		}
+		// Random side arrays.
+		if rng.Intn(2) == 0 {
+			tbl.Masks = make([]bitmask.Mask, n)
+			for i := range tbl.Masks {
+				m := bitmask.New(5)
+				for bit := 0; bit < 5; bit++ {
+					if rng.Intn(4) == 0 {
+						m.Set(bit)
+					}
+				}
+				tbl.Masks[i] = m
+			}
+		}
+		if rng.Intn(2) == 0 {
+			tbl.Weights = make([]float64, n)
+			for i := range tbl.Weights {
+				tbl.Weights[i] = 1 + rng.Float64()*9
+			}
+		}
+
+		// Random query.
+		q := &Query{Aggs: []Aggregate{{Kind: Count}, {Kind: Sum, Col: "c"}}}
+		if rng.Intn(2) == 0 {
+			q.GroupBy = append(q.GroupBy, "a")
+		}
+		if rng.Intn(2) == 0 {
+			q.GroupBy = append(q.GroupBy, "b")
+		}
+		switch rng.Intn(3) {
+		case 0:
+			q.Where = append(q.Where, NewCmp("b", Ge, IntVal(int64(rng.Intn(8)))))
+		case 1:
+			q.Where = append(q.Where, NewIn("a", StringVal("va"), StringVal("vb"), StringVal("vc")))
+		}
+		opt := ExecOptions{}
+		if rng.Intn(2) == 0 {
+			opt.Scale = 1 + rng.Float64()*99
+		}
+		if tbl.Masks != nil && rng.Intn(2) == 0 {
+			opt.ExcludeMask = bitmask.FromBits(5, rng.Intn(5), rng.Intn(5))
+		}
+
+		got, err := Execute(tbl, q, opt)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := naiveExecute(tbl, []string{"a", "b", "c"}, q, opt)
+		if got.NumGroups() != len(want) {
+			t.Logf("seed %d: %d groups vs naive %d", seed, got.NumGroups(), len(want))
+			return false
+		}
+		for _, g := range got.Groups() {
+			key := ""
+			for _, v := range g.Key {
+				key += "\x01" + v.String()
+			}
+			ref, ok := want[key]
+			if !ok {
+				t.Logf("seed %d: group %v absent from naive result", seed, g.Key)
+				return false
+			}
+			for i := range g.Vals {
+				if math.Abs(g.Vals[i]-ref[i]) > 1e-6*(1+math.Abs(ref[i])) {
+					t.Logf("seed %d: group %v agg %d: %g vs naive %g", seed, g.Key, i, g.Vals[i], ref[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

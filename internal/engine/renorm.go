@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"fmt"
+
+	"dynsample/internal/bitmask"
+)
+
+// Renormalized join synopses (§5.2.2): instead of storing each sample table
+// fully flattened ("join synopses"), the fact rows are stored with their
+// foreign keys remapped into reduced dimension tables that contain only the
+// referenced rows — and those reduced dimensions are shared by every sample
+// table built from the same Renormalizer, exactly as the paper describes:
+// "we combined the resulting small dimension tables from all the small group
+// sampling join synopses to create a single smaller dimension table for each
+// of the original dimension tables."
+
+// Renormalizer builds renormalized sample databases over one base star
+// schema. Construct it with every row set that will become a sample table so
+// the shared reduced dimensions cover all of them.
+type Renormalizer struct {
+	db *Database
+	// remap[d][oldRow] is the reduced row id in dimension d, or -1.
+	remap       [][]int32
+	reducedDims []*Table
+}
+
+// NewRenormalizer computes the shared reduced dimension tables covering the
+// union of the given fact-row sets.
+func NewRenormalizer(db *Database, rowSets ...[]int) *Renormalizer {
+	r := &Renormalizer{db: db}
+	r.remap = make([][]int32, len(db.Dims))
+	r.reducedDims = make([]*Table, len(db.Dims))
+	for d, dj := range db.Dims {
+		used := make([]bool, dj.Table.NumRows())
+		fk := db.Fact.MustColumn(dj.FK)
+		for _, rows := range rowSets {
+			for _, row := range rows {
+				used[fk.Int(row)] = true
+			}
+		}
+		remap := make([]int32, dj.Table.NumRows())
+		var keep []int
+		for old, u := range used {
+			if u {
+				remap[old] = int32(len(keep))
+				keep = append(keep, old)
+			} else {
+				remap[old] = -1
+			}
+		}
+		r.remap[d] = remap
+		r.reducedDims[d] = subsetTable(dj.Table, dj.Table.Name, keep)
+	}
+	return r
+}
+
+// ReducedDims returns the shared reduced dimension tables.
+func (r *Renormalizer) ReducedDims() []*Table { return r.reducedDims }
+
+// Build materialises one sample as a renormalized star schema: a fact slice
+// with remapped foreign keys joined to the shared reduced dimensions. The
+// returned Database is a Source whose rows carry the given masks and
+// weights.
+func (r *Renormalizer) Build(name string, rows []int, masks []bitmask.Mask, weights []float64) (*Database, error) {
+	if masks != nil && len(masks) != len(rows) {
+		return nil, fmt.Errorf("engine: renormalize masks length mismatch")
+	}
+	if weights != nil && len(weights) != len(rows) {
+		return nil, fmt.Errorf("engine: renormalize weights length mismatch")
+	}
+	fact := subsetTable(r.db.Fact, name, rows)
+	// Remap FK columns into the reduced dimensions.
+	for d, dj := range r.db.Dims {
+		fk := fact.MustColumn(dj.FK)
+		for i := range fk.ints {
+			nr := r.remap[d][fk.ints[i]]
+			if nr < 0 {
+				return nil, fmt.Errorf("engine: row set for %q not covered by renormalizer", name)
+			}
+			fk.ints[i] = int64(nr)
+		}
+	}
+	fact.Masks = masks
+	fact.Weights = weights
+	dims := make([]DimJoin, len(r.db.Dims))
+	for d, dj := range r.db.Dims {
+		dims[d] = DimJoin{Table: r.reducedDims[d], FK: dj.FK}
+	}
+	return NewDatabase(name, fact, dims...)
+}
+
+// subsetTable copies the given rows of a table (all physical columns,
+// including FK columns).
+func subsetTable(t *Table, name string, rows []int) *Table {
+	cols := make([]*Column, t.NumCols())
+	for j, c := range t.Columns() {
+		nc := NewColumn(c.Name, c.Type)
+		switch c.Type {
+		case Int:
+			nc.ints = make([]int64, len(rows))
+			for i, r := range rows {
+				nc.ints[i] = c.ints[r]
+			}
+		case Float:
+			nc.floats = make([]float64, len(rows))
+			for i, r := range rows {
+				nc.floats[i] = c.floats[r]
+			}
+		default:
+			codeMap := make([]int32, len(c.dict))
+			for k := range codeMap {
+				codeMap[k] = -1
+			}
+			nc.codes = make([]int32, 0, len(rows))
+			for _, r := range rows {
+				code := c.codes[r]
+				if codeMap[code] < 0 {
+					codeMap[code] = int32(len(nc.dict))
+					nc.dict = append(nc.dict, c.dict[code])
+					nc.dictIx[c.dict[code]] = codeMap[code]
+				}
+				nc.codes = append(nc.codes, codeMap[code])
+			}
+		}
+		cols[j] = nc
+	}
+	return NewTable(name, cols...)
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Group is one group of a query answer with its aggregate accumulators.
+type Group struct {
+	// Key holds the group-by values, in the query's GroupBy order.
+	Key []Value
+	// Vals holds the (scaled, weighted) aggregate values, one per query
+	// aggregate. These are additive across partial results.
+	Vals []float64
+	// RawRows is the number of unweighted source rows that contributed.
+	RawRows int64
+	// RawSum and RawSumSq accumulate, per aggregate, the unscaled per-row
+	// contributions and their squares (x=1 for COUNT, x=measure for SUM).
+	RawSum   []float64
+	RawSumSq []float64
+	// VarAcc accumulates, per aggregate, the Horvitz-Thompson variance
+	// estimate Σ w·(w−1)·x² where w is the row's total weight (per-row
+	// weight × scale). Rows stored at rate 100% (w=1) contribute zero, so
+	// exact groups automatically get zero-width confidence intervals.
+	VarAcc []float64
+	// Exact marks groups whose aggregate is known exactly (answered entirely
+	// from small group tables); see §4.2.2: "Answers for groups that result
+	// from querying small group tables are marked as being exact".
+	Exact bool
+}
+
+// Result is the (exact or partial) answer to a Query over one Source.
+type Result struct {
+	GroupBy []string
+	Aggs    []Aggregate
+
+	groups map[string]*Group // keyed by GroupKey bytes; string-keyed for the
+	// compiler's zero-copy []byte lookup optimisation
+
+	// RowsScanned counts source rows that survived the bitmask filter;
+	// RowsMatched additionally satisfied the predicates. RowsScanned is the
+	// effective sample size used for confidence intervals.
+	RowsScanned int64
+	RowsMatched int64
+}
+
+// NewResult returns an empty result for the given query shape.
+func NewResult(groupBy []string, aggs []Aggregate) *Result {
+	return &Result{GroupBy: groupBy, Aggs: aggs, groups: make(map[string]*Group)}
+}
+
+// NumGroups returns the number of groups in the result.
+func (r *Result) NumGroups() int { return len(r.groups) }
+
+// Group returns the group with the given key, or nil.
+func (r *Result) Group(key GroupKey) *Group { return r.groups[string(key)] }
+
+// Upsert returns the group for key, creating it (with the given key values)
+// if needed.
+func (r *Result) Upsert(key GroupKey, keyVals func() []Value) *Group {
+	g, ok := r.groups[string(key)]
+	if !ok {
+		g = r.insert(string(key), keyVals())
+	}
+	return g
+}
+
+// lookup is the allocation-free probe used by the executor: buf holds the
+// encoded key bytes.
+func (r *Result) lookup(buf []byte) (*Group, bool) {
+	g, ok := r.groups[string(buf)]
+	return g, ok
+}
+
+func (r *Result) insert(key string, keyVals []Value) *Group {
+	g := &Group{
+		Key:      keyVals,
+		Vals:     make([]float64, len(r.Aggs)),
+		RawSum:   make([]float64, len(r.Aggs)),
+		RawSumSq: make([]float64, len(r.Aggs)),
+		VarAcc:   make([]float64, len(r.Aggs)),
+	}
+	r.groups[key] = g
+	return g
+}
+
+// Keys returns all group keys in deterministic (sorted) order.
+func (r *Result) Keys() []GroupKey {
+	keys := make([]GroupKey, 0, len(r.groups))
+	for k := range r.groups {
+		keys = append(keys, GroupKey(k))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Groups returns the groups ordered by key.
+func (r *Result) Groups() []*Group {
+	keys := r.Keys()
+	out := make([]*Group, len(keys))
+	for i, k := range keys {
+		out[i] = r.groups[string(k)]
+	}
+	return out
+}
+
+// Merge adds all groups of other into r. The query shapes must match. A group
+// present in both is summed; Exact is kept only if both parts are exact (a
+// group fed by both a small group table and the overall sample is estimated,
+// not exact).
+func (r *Result) Merge(other *Result) error {
+	if len(r.Aggs) != len(other.Aggs) {
+		return fmt.Errorf("engine: merging results with %d vs %d aggregates", len(r.Aggs), len(other.Aggs))
+	}
+	for k, og := range other.groups {
+		g, ok := r.groups[k]
+		if !ok {
+			cp := &Group{
+				Key:      og.Key,
+				Vals:     append([]float64(nil), og.Vals...),
+				RawRows:  og.RawRows,
+				RawSum:   append([]float64(nil), og.RawSum...),
+				RawSumSq: append([]float64(nil), og.RawSumSq...),
+				VarAcc:   append([]float64(nil), og.VarAcc...),
+				Exact:    og.Exact,
+			}
+			r.groups[k] = cp
+			continue
+		}
+		for i := range g.Vals {
+			g.Vals[i] += og.Vals[i]
+			g.RawSum[i] += og.RawSum[i]
+			g.RawSumSq[i] += og.RawSumSq[i]
+			g.VarAcc[i] += og.VarAcc[i]
+		}
+		g.RawRows += og.RawRows
+		g.Exact = g.Exact && og.Exact
+	}
+	r.RowsScanned += other.RowsScanned
+	r.RowsMatched += other.RowsMatched
+	return nil
+}
+
+// String renders the result as a small fixed-width table, for examples and
+// the CLI.
+func (r *Result) String() string {
+	var sb strings.Builder
+	for _, g := range r.GroupBy {
+		fmt.Fprintf(&sb, "%-18s", g)
+	}
+	for _, a := range r.Aggs {
+		fmt.Fprintf(&sb, "%18s", a.String())
+	}
+	sb.WriteByte('\n')
+	for _, g := range r.Groups() {
+		for _, v := range g.Key {
+			fmt.Fprintf(&sb, "%-18s", v.String())
+		}
+		for _, v := range g.Vals {
+			fmt.Fprintf(&sb, "%18.2f", v)
+		}
+		if g.Exact {
+			sb.WriteString("  (exact)")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

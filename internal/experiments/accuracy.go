@@ -1,0 +1,489 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynsample/internal/congress"
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+	"dynsample/internal/metrics"
+	"dynsample/internal/outlier"
+	"dynsample/internal/workload"
+)
+
+// methodsSmallGroupVsUniform builds the two standard competitors over db at
+// the runner's base rate, with uniform's rate matched per query (§5.3.1).
+func (r *Runner) methodsSmallGroupVsUniform(db *engine.Database, rate float64) ([]method, error) {
+	sg, err := r.smallGroup(db, rate, nil)
+	if err != nil {
+		return nil, err
+	}
+	return []method{
+		{name: "SmGroup", answer: func(q *engine.Query, g int) (*core.Answer, error) {
+			return sg.Answer(q)
+		}},
+		{name: "Uniform", answer: func(q *engine.Query, g int) (*core.Answer, error) {
+			u, err := r.uniformMatched(db, rate, g)
+			if err != nil {
+				return nil, err
+			}
+			return u.Answer(q)
+		}},
+	}, nil
+}
+
+// Fig4 reproduces Figure 4: RelErr (4a) and PctGroups (4b) vs the number of
+// grouping columns for small group sampling vs uniform sampling on
+// TPCH1G2.0z COUNT queries at a 1% base rate.
+func (r *Runner) Fig4() ([]*Figure, error) {
+	db, err := r.TPCH(2.0, r.Scale.TPCHSF1Rows)
+	if err != nil {
+		return nil, err
+	}
+	methods, err := r.methodsSmallGroupVsUniform(db, r.Scale.BaseRate)
+	if err != nil {
+		return nil, err
+	}
+	return r.groupingColumnSweep(db, methods, "4",
+		fmt.Sprintf("SmGroup vs Uniform on %s (COUNT, r=%g)", db.Name, r.Scale.BaseRate),
+		[]string{
+			"paper: both metrics rise with grouping columns, much faster for uniform",
+			"paper: at 4 grouping columns uniform misses >75% of groups, small group <15%",
+		})
+}
+
+// groupingColumnSweep runs the §5.2.3 COUNT workload for g=1..4 and emits a
+// RelErr figure and a PctGroups figure.
+func (r *Runner) groupingColumnSweep(db *engine.Database, methods []method, id, title string, notes []string) ([]*Figure, error) {
+	rel := &Figure{
+		ID: id + "a", Title: title,
+		XLabel: "grouping columns", YLabel: "RelErr", Notes: notes,
+	}
+	pct := &Figure{
+		ID: id + "b", Title: title,
+		XLabel: "grouping columns", YLabel: "PctGroups missed (%)", Notes: notes,
+	}
+	series := make(map[string]*[2][]float64, len(methods))
+	order := make([]string, 0, len(methods))
+	for _, m := range methods {
+		series[m.name] = &[2][]float64{}
+		order = append(order, m.name)
+	}
+	for g := 1; g <= 4; g++ {
+		queries, err := r.countWorkload(db, g, 100+g)
+		if err != nil {
+			return nil, err
+		}
+		accs, err := r.evalQueries(db, queries, methods)
+		if err != nil {
+			return nil, err
+		}
+		rel.Labels = append(rel.Labels, fmt.Sprintf("%d", g))
+		pct.Labels = append(pct.Labels, fmt.Sprintf("%d", g))
+		for name, acc := range accs {
+			s := series[name]
+			s[0] = append(s[0], acc.RelErr)
+			s[1] = append(s[1], acc.PctGroups)
+		}
+	}
+	for _, name := range order {
+		rel.Series = append(rel.Series, Series{Name: name, Y: series[name][0]})
+		pct.Series = append(pct.Series, Series{Name: name, Y: series[name][1]})
+	}
+	return []*Figure{rel, pct}, nil
+}
+
+// selectivityBins are the Figure 5 x-axis bucket upper bounds, as fractions
+// of the database (.02% .. 1.28%, log scale).
+var selectivityBins = []float64{0.0002, 0.0004, 0.0008, 0.0016, 0.0032, 0.0064, 0.0128}
+
+func selectivityLabel(i int) string {
+	lo := 0.0
+	if i > 0 {
+		lo = selectivityBins[i-1]
+	}
+	return fmt.Sprintf("%.2f%%-%.2f%%", lo*100, selectivityBins[i]*100)
+}
+
+// Fig5 reproduces Figure 5: RelErr and PctGroups vs per-group selectivity on
+// the SALES database.
+func (r *Runner) Fig5() ([]*Figure, error) {
+	db, err := r.Sales()
+	if err != nil {
+		return nil, err
+	}
+	methods, err := r.methodsSmallGroupVsUniform(db, r.Scale.BaseRate)
+	if err != nil {
+		return nil, err
+	}
+
+	type bucketAcc map[string][]metrics.Accuracy
+	buckets := make([]bucketAcc, len(selectivityBins))
+	for i := range buckets {
+		buckets[i] = make(bucketAcc)
+	}
+
+	// Mixed workload across grouping-column counts to populate all buckets.
+	for g := 1; g <= 4; g++ {
+		queries, err := r.countWorkload(db, g, 500+g)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			exact, err := r.exact(db, q)
+			if err != nil {
+				return nil, err
+			}
+			if exact.NumGroups() == 0 {
+				continue
+			}
+			sel := metrics.PerGroupSelectivity(exact, db.NumRows())
+			bi := -1
+			for i, hi := range selectivityBins {
+				if sel <= hi {
+					bi = i
+					break
+				}
+			}
+			if bi < 0 {
+				continue // larger than the plotted range
+			}
+			for _, m := range methods {
+				ans, err := m.answer(q, len(q.GroupBy))
+				if err != nil {
+					return nil, err
+				}
+				acc, err := metrics.Compare(exact, ans.Result, 0)
+				if err != nil {
+					return nil, err
+				}
+				buckets[bi][m.name] = append(buckets[bi][m.name], acc)
+			}
+		}
+	}
+
+	rel := &Figure{
+		ID: "5-relerr", Title: fmt.Sprintf("SmGroup vs Uniform on %s by per-group selectivity (COUNT, r=%g)", db.Name, r.Scale.BaseRate),
+		XLabel: "per-group selectivity", YLabel: "RelErr",
+		Notes: []string{"paper: small group sampling consistently better across the selectivity range"},
+	}
+	pct := &Figure{
+		ID: "5-pctgroups", Title: rel.Title,
+		XLabel: "per-group selectivity", YLabel: "PctGroups missed (%)",
+	}
+	names := []string{"SmGroup", "Uniform"}
+	relY := map[string][]float64{}
+	pctY := map[string][]float64{}
+	for i := range buckets {
+		empty := true
+		for _, name := range names {
+			if len(buckets[i][name]) > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			continue
+		}
+		rel.Labels = append(rel.Labels, selectivityLabel(i))
+		pct.Labels = append(pct.Labels, selectivityLabel(i))
+		for _, name := range names {
+			m := metrics.Mean(buckets[i][name])
+			relY[name] = append(relY[name], m.RelErr)
+			pctY[name] = append(pctY[name], m.PctGroups)
+		}
+	}
+	for _, name := range names {
+		rel.Series = append(rel.Series, Series{Name: name, Y: relY[name]})
+		pct.Series = append(pct.Series, Series{Name: name, Y: pctY[name]})
+	}
+	return []*Figure{rel, pct}, nil
+}
+
+// Fig6 reproduces Figure 6: RelErr vs the Zipf skew parameter on the
+// TPCH1Gyz series.
+func (r *Runner) Fig6() (*Figure, error) {
+	fig := &Figure{
+		ID: "6", Title: fmt.Sprintf("RelErr vs skew on TPCH1Gyz (COUNT, r=%g)", r.Scale.BaseRate),
+		XLabel: "skew parameter z", YLabel: "RelErr",
+		Notes: []string{
+			"paper: uniform slightly ahead at z=1.0; small group clearly better at z>=1.5",
+			"paper: uniform partially recovers at very high skew (predicates filter rare values out)",
+		},
+	}
+	var smY, unY []float64
+	for _, z := range []float64{1.0, 1.5, 2.0, 2.5} {
+		db, err := r.TPCH(z, r.Scale.TPCHSF1Rows)
+		if err != nil {
+			return nil, err
+		}
+		methods, err := r.methodsSmallGroupVsUniform(db, r.Scale.BaseRate)
+		if err != nil {
+			return nil, err
+		}
+		var all map[string]metrics.Accuracy
+		accs := map[string][]metrics.Accuracy{}
+		for g := 2; g <= 3; g++ {
+			queries, err := r.countWorkload(db, g, 600+g)
+			if err != nil {
+				return nil, err
+			}
+			batch, err := r.evalQueries(db, queries, methods)
+			if err != nil {
+				return nil, err
+			}
+			for name, a := range batch {
+				accs[name] = append(accs[name], a)
+			}
+		}
+		all = map[string]metrics.Accuracy{
+			"SmGroup": metrics.Mean(accs["SmGroup"]),
+			"Uniform": metrics.Mean(accs["Uniform"]),
+		}
+		fig.Labels = append(fig.Labels, fmt.Sprintf("%.1f", z))
+		smY = append(smY, all["SmGroup"].RelErr)
+		unY = append(unY, all["Uniform"].RelErr)
+	}
+	fig.Series = []Series{{Name: "SmGroup", Y: smY}, {Name: "Uniform", Y: unY}}
+	return fig, nil
+}
+
+// Fig7 reproduces Figure 7: RelErr and PctGroups vs the base sampling rate
+// on TPCH1G2.0z.
+func (r *Runner) Fig7() ([]*Figure, error) {
+	db, err := r.TPCH(2.0, r.Scale.TPCHSF1Rows)
+	if err != nil {
+		return nil, err
+	}
+	rates := []float64{0.0025, 0.005, 0.01, 0.02, 0.04}
+	rel := &Figure{
+		ID: "7-relerr", Title: fmt.Sprintf("Error vs base sampling rate on %s (COUNT)", db.Name),
+		XLabel: "base sampling rate", YLabel: "RelErr",
+		Notes: []string{"paper: both methods degrade smoothly as the rate falls; small group consistently better"},
+	}
+	pct := &Figure{
+		ID: "7-pctgroups", Title: rel.Title,
+		XLabel: "base sampling rate", YLabel: "PctGroups missed (%)",
+	}
+	var smRel, unRel, smPct, unPct []float64
+	for _, rate := range rates {
+		methods, err := r.methodsSmallGroupVsUniform(db, rate)
+		if err != nil {
+			return nil, err
+		}
+		accs := map[string][]metrics.Accuracy{}
+		for g := 2; g <= 3; g++ {
+			queries, err := r.countWorkload(db, g, 700+g)
+			if err != nil {
+				return nil, err
+			}
+			batch, err := r.evalQueries(db, queries, methods)
+			if err != nil {
+				return nil, err
+			}
+			for name, a := range batch {
+				accs[name] = append(accs[name], a)
+			}
+		}
+		sm, un := metrics.Mean(accs["SmGroup"]), metrics.Mean(accs["Uniform"])
+		rel.Labels = append(rel.Labels, fmt.Sprintf("%.2f%%", rate*100))
+		pct.Labels = append(pct.Labels, fmt.Sprintf("%.2f%%", rate*100))
+		smRel = append(smRel, sm.RelErr)
+		unRel = append(unRel, un.RelErr)
+		smPct = append(smPct, sm.PctGroups)
+		unPct = append(unPct, un.PctGroups)
+	}
+	rel.Series = []Series{{Name: "SmGroup", Y: smRel}, {Name: "Uniform", Y: unRel}}
+	pct.Series = []Series{{Name: "SmGroup", Y: smPct}, {Name: "Uniform", Y: unPct}}
+	return []*Figure{rel, pct}, nil
+}
+
+// salesRestrictedColumns picks the Figure 8 column subset: the fact table's
+// direct columns plus four of the six dimensions (~120 columns), mirroring
+// the paper's restriction ("we picked four dimension tables plus the fact
+// table ... 120 columns in all").
+func salesRestrictedColumns(db *engine.Database) []string {
+	keep := map[string]bool{"product": true, "store": true, "customer": true, "promotion": true}
+	dimOf := make(map[string]string)
+	for _, d := range db.Dims {
+		for _, c := range d.Table.Columns() {
+			dimOf[c.Name] = d.Table.Name
+		}
+	}
+	var cols []string
+	for _, c := range db.Columns() {
+		dim, isDim := dimOf[c]
+		if !isDim || keep[dim] {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+// Fig8 reproduces Figure 8: RelErr and PctGroups vs grouping columns for
+// small group sampling vs basic congress vs uniform on SALES restricted to
+// ~120 columns.
+func (r *Runner) Fig8() ([]*Figure, error) {
+	db, err := r.Sales()
+	if err != nil {
+		return nil, err
+	}
+	cols := salesRestrictedColumns(db)
+	measures := map[string]bool{}
+	for _, m := range []string{"sale_amount", "units", "margin"} {
+		measures[m] = true
+	}
+	var grpCols []string
+	for _, c := range cols {
+		if !measures[c] {
+			grpCols = append(grpCols, c)
+		}
+	}
+
+	sg, err := r.smallGroup(db, r.Scale.BaseRate, grpCols)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := r.prepared(db, "congress-basic", congress.New(congress.Config{
+		Rate:    r.Scale.BaseRate * (1 + AllocationRatio*2.5), // mid-g matched space
+		Columns: grpCols,
+		Seed:    r.Scale.Seed + 3,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	methods := []method{
+		{name: "SmGroup", answer: func(q *engine.Query, g int) (*core.Answer, error) { return sg.Answer(q) }},
+		{name: "BasicCongress", answer: func(q *engine.Query, g int) (*core.Answer, error) { return bc.Answer(q) }},
+		{name: "Uniform", answer: func(q *engine.Query, g int) (*core.Answer, error) {
+			u, err := r.uniformMatched(db, r.Scale.BaseRate, g)
+			if err != nil {
+				return nil, err
+			}
+			return u.Answer(q)
+		}},
+	}
+
+	rel := &Figure{
+		ID: "8a", Title: fmt.Sprintf("SmGroup vs BasicCongress vs Uniform on %s (%d columns, r=%g)", db.Name, len(grpCols), r.Scale.BaseRate),
+		XLabel: "grouping columns", YLabel: "RelErr",
+		Notes: []string{
+			"paper: small group significantly more accurate; basic congress ~ uniform",
+			"paper: congress degenerated into ~166,000 tiny strata on the 120-column SALES subset",
+		},
+	}
+	if sc, ok := bc.(interface{ StrataCount() int }); ok {
+		rel.Notes = append(rel.Notes, fmt.Sprintf("measured: basic congress stratified %d rows into %d strata", db.NumRows(), sc.StrataCount()))
+	}
+	pct := &Figure{ID: "8b", Title: rel.Title, XLabel: "grouping columns", YLabel: "PctGroups missed (%)"}
+
+	names := []string{"SmGroup", "BasicCongress", "Uniform"}
+	relY := map[string][]float64{}
+	pctY := map[string][]float64{}
+	for g := 1; g <= 4; g++ {
+		gen, err := workload.NewGenerator(db, workload.Config{
+			GroupingColumns: g,
+			Predicates:      1 + (g % 2),
+			Aggregate:       engine.Count,
+			MaxDistinct:     core.DefaultDistinctLimit,
+			MassSelectivity: true,
+			Columns:         grpCols,
+			Seed:            r.Scale.Seed + int64(800+g),
+		})
+		if err != nil {
+			return nil, err
+		}
+		accs, err := r.evalQueries(db, gen.Queries(r.Scale.QueriesPerConfig), methods)
+		if err != nil {
+			return nil, err
+		}
+		rel.Labels = append(rel.Labels, fmt.Sprintf("%d", g))
+		pct.Labels = append(pct.Labels, fmt.Sprintf("%d", g))
+		for _, name := range names {
+			relY[name] = append(relY[name], accs[name].RelErr)
+			pctY[name] = append(pctY[name], accs[name].PctGroups)
+		}
+	}
+	for _, name := range names {
+		rel.Series = append(rel.Series, Series{Name: name, Y: relY[name]})
+		pct.Series = append(pct.Series, Series{Name: name, Y: pctY[name]})
+	}
+	return []*Figure{rel, pct}, nil
+}
+
+// SumOutlier reproduces the §5.3.3 comparison on SUM queries over the skewed
+// sale_amount measure: small group sampling enhanced with outlier indexing vs
+// outlier indexing alone vs uniform sampling.
+func (r *Runner) SumOutlier() (*Figure, error) {
+	db, err := r.Sales()
+	if err != nil {
+		return nil, err
+	}
+	const measure = "sale_amount"
+
+	sgo, err := r.prepared(db, "sg+outlier", core.NewSmallGroup(core.SmallGroupConfig{
+		BaseRate:           r.Scale.BaseRate,
+		SmallGroupFraction: AllocationRatio * r.Scale.BaseRate,
+		Seed:               r.Scale.Seed + 4,
+		Overall:            outlier.OverallBuilder{Measure: measure},
+	}))
+	if err != nil {
+		return nil, err
+	}
+	methods := []method{
+		{name: "SmGroup+Outlier", answer: func(q *engine.Query, g int) (*core.Answer, error) { return sgo.Answer(q) }},
+		{name: "Outlier", answer: func(q *engine.Query, g int) (*core.Answer, error) {
+			rate := r.Scale.BaseRate * (1 + AllocationRatio*float64(g))
+			p, err := r.prepared(db, fmt.Sprintf("outlier/r=%g", rate), outlier.New(outlier.Config{
+				Rate: rate, Measure: measure, Seed: r.Scale.Seed + 5,
+			}))
+			if err != nil {
+				return nil, err
+			}
+			return p.Answer(q)
+		}},
+		{name: "Uniform", answer: func(q *engine.Query, g int) (*core.Answer, error) {
+			u, err := r.uniformMatched(db, r.Scale.BaseRate, g)
+			if err != nil {
+				return nil, err
+			}
+			return u.Answer(q)
+		}},
+	}
+
+	names := []string{"SmGroup+Outlier", "Outlier", "Uniform"}
+	accs := map[string][]metrics.Accuracy{}
+	for g := 1; g <= 4; g++ {
+		gen, err := workload.NewGenerator(db, workload.Config{
+			GroupingColumns: g,
+			Predicates:      1 + (g % 2),
+			Aggregate:       engine.Sum,
+			Measures:        []string{measure},
+			MaxDistinct:     core.DefaultDistinctLimit,
+			MassSelectivity: true,
+			Seed:            r.Scale.Seed + int64(900+g),
+		})
+		if err != nil {
+			return nil, err
+		}
+		batch, err := r.evalQueries(db, gen.Queries(r.Scale.QueriesPerConfig), methods)
+		if err != nil {
+			return nil, err
+		}
+		for name, a := range batch {
+			accs[name] = append(accs[name], a)
+		}
+	}
+	fig := &Figure{
+		ID: "sum", Title: fmt.Sprintf("SUM(%s) queries on %s (r=%g)", measure, db.Name, r.Scale.BaseRate),
+		XLabel: "metric", YLabel: "value",
+		Labels: []string{"RelErr", "PctGroups missed (%)"},
+		Notes: []string{
+			"paper: RelErr 0.79 (SmGroup+Outlier) vs 1.08 (Outlier); missed groups 37% vs 55%; uniform ~ outlier",
+		},
+	}
+	for _, name := range names {
+		m := metrics.Mean(accs[name])
+		fig.Series = append(fig.Series, Series{Name: name, Y: []float64{m.RelErr, m.PctGroups}})
+	}
+	return fig, nil
+}

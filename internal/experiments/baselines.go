@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynsample/internal/congress"
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+	"dynsample/internal/metrics"
+	"dynsample/internal/weighted"
+	"dynsample/internal/workload"
+)
+
+// Baselines goes beyond the paper's pairwise comparisons: every implemented
+// strategy head to head on one workload, on a narrow candidate column set so
+// that even the full (exponential) congress algorithm — which the paper
+// could not run on its 245-column schema — participates. The workload-
+// weighted baseline is trained on half the workload and evaluated, like the
+// others, on the other half.
+func (r *Runner) Baselines() (*Figure, error) {
+	db, err := r.TPCH(2.0, r.Scale.TPCHSF1Rows)
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"p_brand", "p_category", "s_region", "o_orderpriority", "l_returnflag", "l_shipmode"}
+	const g = 2
+	rate := r.Scale.BaseRate
+	matched := rate * (1 + AllocationRatio*g)
+
+	gen, err := workload.NewGenerator(db, workload.Config{
+		GroupingColumns: g,
+		Predicates:      1,
+		Aggregate:       engine.Count,
+		Columns:         cols,
+		MassSelectivity: true,
+		Seed:            r.Scale.Seed + 1300,
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries := gen.Queries(2 * r.Scale.QueriesPerConfig)
+	train, eval := queries[:len(queries)/2], queries[len(queries)/2:]
+
+	type entry struct {
+		label string
+		st    core.Strategy
+	}
+	entries := []entry{
+		{"SmGroup", core.NewSmallGroup(core.SmallGroupConfig{
+			BaseRate: rate, SmallGroupFraction: AllocationRatio * rate, Columns: cols, Seed: r.Scale.Seed + 1,
+		})},
+		{"Uniform", nil}, // via uniformMatched below (shares the cache)
+		{"BasicCongress", congress.New(congress.Config{Rate: matched, Columns: cols, Seed: r.Scale.Seed + 2, Label: "bl-basic"})},
+		{"FullCongress", congress.New(congress.Config{Rate: matched, Columns: cols, Variant: congress.Full, Seed: r.Scale.Seed + 3, Label: "bl-full"})},
+		{"Weighted", weighted.New(weighted.Config{Rate: matched, Workload: train, Seed: r.Scale.Seed + 4, Label: "bl-weighted"})},
+	}
+
+	fig := &Figure{
+		ID: "baselines", Title: fmt.Sprintf("All strategies head to head on %s (COUNT, g=%d, %d columns, matched space %.2f%%)", db.Name, g, len(cols), matched*100),
+		XLabel: "strategy", YLabel: "RelErr / PctGroups",
+		Notes: []string{
+			"beyond the paper: full congress is feasible on this narrow column set; weighted is trained on a held-out half of the workload",
+		},
+	}
+	var relY, pctY []float64
+	for _, e := range entries {
+		var p core.Prepared
+		var err error
+		if e.st == nil {
+			p, err = r.uniformMatched(db, rate, g)
+		} else {
+			p, err = r.prepared(db, "bl/"+e.label, e.st)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var accs []metrics.Accuracy
+		for _, q := range eval {
+			exact, err := r.exact(db, q)
+			if err != nil {
+				return nil, err
+			}
+			if exact.NumGroups() == 0 {
+				continue
+			}
+			ans, err := p.Answer(q)
+			if err != nil {
+				return nil, err
+			}
+			a, err := metrics.Compare(exact, ans.Result, 0)
+			if err != nil {
+				return nil, err
+			}
+			accs = append(accs, a)
+		}
+		m := metrics.Mean(accs)
+		fig.Labels = append(fig.Labels, e.label)
+		relY = append(relY, m.RelErr)
+		pctY = append(pctY, m.PctGroups)
+	}
+	fig.Series = []Series{
+		{Name: "RelErr", Y: relY},
+		{Name: "PctGroups missed (%)", Y: pctY},
+	}
+	return fig, nil
+}

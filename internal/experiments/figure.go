@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4.4 analysis, §5 experiments). Each Fig* method of Runner
+// returns Figures holding the same series the paper plots; cmd/experiments
+// prints them and bench_test.go wraps them as benchmarks.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is one chart or table from the paper, rendered as ASCII.
+type Figure struct {
+	// ID is the paper's label, e.g. "3a", "4b", "9".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel names the x axis; Labels are the tick labels.
+	XLabel string
+	Labels []string
+	// YLabel names the y axis (shared by all series).
+	YLabel string
+	// Series holds one curve per method.
+	Series []Series
+	// Notes are free-form annotations (measured context, paper reference
+	// values).
+	Notes []string
+}
+
+// Render writes the figure as a fixed-width table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "  (y = %s)\n", f.YLabel)
+
+	colWidth := 18
+	for _, s := range f.Series {
+		if len(s.Name)+2 > colWidth {
+			colWidth = len(s.Name) + 2
+		}
+	}
+	fmt.Fprintf(w, "  %-22s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%*s", colWidth, s.Name)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", 22+colWidth*len(f.Series)))
+	for i, lbl := range f.Labels {
+		fmt.Fprintf(w, "  %-22s", lbl)
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(w, "%*s", colWidth, formatVal(s.Y[i]))
+			} else {
+				fmt.Fprintf(w, "%*s", colWidth, "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v < 0.001:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var sb strings.Builder
+	f.Render(&sb)
+	return sb.String()
+}
+
+// WriteCSV writes the figure's series as CSV (x label in the first column,
+// one column per series), ready for external plotting tools.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{f.XLabel}, seriesNames(f)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, lbl := range f.Labels {
+		rec := []string{lbl}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				rec = append(rec, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func seriesNames(f *Figure) []string {
+	names := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// FileName returns a filesystem-friendly name for the figure's CSV.
+func (f *Figure) FileName() string {
+	return "figure_" + strings.ReplaceAll(f.ID, "/", "_") + ".csv"
+}

@@ -1,0 +1,181 @@
+// Package icicles implements self-tuning samples in the spirit of [Ganti,
+// Lee, Ramakrishnan — VLDB 2000], the second workload-based baseline of §2:
+// samples that "adapt to the query workload" as it arrives, instead of being
+// fixed at pre-processing time.
+//
+// The icicle starts as a uniform sample. Each observed query increments a
+// per-tuple usage count over the base data; Retune then redraws the sample
+// by Poisson sampling with inclusion probability proportional to usage (plus
+// smoothing), carrying Horvitz-Thompson weights so every answer stays
+// unbiased. Usage counts decay on each retune, letting the sample follow a
+// drifting workload — the property that distinguishes icicles from the
+// one-shot weighted sample of internal/weighted.
+package icicles
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+	"dynsample/internal/randx"
+	"dynsample/internal/sample"
+)
+
+// Config parameterises the self-tuning sample.
+type Config struct {
+	// Rate is the expected sample size as a fraction of the database.
+	Rate float64
+	// Smoothing keeps unqueried tuples sampleable (zero means 0.25).
+	Smoothing float64
+	// Decay multiplies usage counts at each Retune, discounting stale
+	// workload signal (zero means 0.5; 1 disables decay).
+	Decay float64
+	// ConfidenceLevel is the nominal CI coverage; zero means 0.95.
+	ConfidenceLevel float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Smoothing == 0 {
+		c.Smoothing = 0.25
+	}
+	if c.Decay == 0 {
+		c.Decay = 0.5
+	}
+	return c
+}
+
+// Icicle is a self-tuning sample. It implements core.Prepared; Observe and
+// Retune mutate it as the workload arrives. All methods are safe for
+// concurrent use.
+type Icicle struct {
+	mu    sync.Mutex
+	db    *engine.Database
+	cfg   Config
+	rng   interface{ Float64() float64 }
+	usage []float64
+	table *engine.Table
+	tunes int
+}
+
+// New builds an icicle over db, initially a uniform sample (every tuple's
+// usage starts equal).
+func New(db *engine.Database, cfg Config) (*Icicle, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Rate <= 0 || cfg.Rate > 1 {
+		return nil, fmt.Errorf("icicles: rate %g out of (0,1]", cfg.Rate)
+	}
+	if cfg.Decay <= 0 || cfg.Decay > 1 {
+		return nil, fmt.Errorf("icicles: decay %g out of (0,1]", cfg.Decay)
+	}
+	if db.NumRows() == 0 {
+		return nil, fmt.Errorf("icicles: database %q is empty", db.Name)
+	}
+	ic := &Icicle{db: db, cfg: cfg, usage: make([]float64, db.NumRows())}
+	if err := ic.Retune(); err != nil {
+		return nil, err
+	}
+	return ic, nil
+}
+
+// Observe folds one query's footprint into the usage counts. It does not
+// redraw the sample; call Retune (typically after a batch) for that.
+func (ic *Icicle) Observe(q *engine.Query) error {
+	if err := q.Validate(ic.db); err != nil {
+		return fmt.Errorf("icicles: %w", err)
+	}
+	type boundPred struct {
+		acc engine.ColumnAccessor
+		p   engine.Predicate
+	}
+	preds := make([]boundPred, len(q.Where))
+	for i, p := range q.Where {
+		acc, err := ic.db.Accessor(p.Column())
+		if err != nil {
+			return err
+		}
+		preds[i] = boundPred{acc, p}
+	}
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	n := ic.db.NumRows()
+rows:
+	for row := 0; row < n; row++ {
+		for _, bp := range preds {
+			if !bp.p.Matches(bp.acc.Value(row)) {
+				continue rows
+			}
+		}
+		ic.usage[row]++
+	}
+	return nil
+}
+
+// Retune redraws the sample from the current usage counts and decays them.
+func (ic *Icicle) Retune() error {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	n := ic.db.NumRows()
+	weights := make([]float64, n)
+	for i, u := range ic.usage {
+		weights[i] = u + ic.cfg.Smoothing
+	}
+	rng := randx.New(ic.cfg.Seed + int64(ic.tunes))
+	rows, invProb := sample.PoissonByWeight(rng, weights, ic.cfg.Rate*float64(n))
+	if len(rows) == 0 {
+		rows = []int{rng.Intn(n)}
+		invProb = []float64{float64(n)}
+	}
+	ic.table = ic.db.Flatten(fmt.Sprintf("icicle_%d", ic.tunes), rows, nil, invProb)
+	ic.tunes++
+	for i := range ic.usage {
+		ic.usage[i] *= ic.cfg.Decay
+	}
+	return nil
+}
+
+// Tunes reports how many times the sample has been redrawn.
+func (ic *Icicle) Tunes() int {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return ic.tunes
+}
+
+// Answer implements core.Prepared.
+func (ic *Icicle) Answer(q *engine.Query) (*core.Answer, error) {
+	ic.mu.Lock()
+	tbl := ic.table
+	level := ic.cfg.ConfidenceLevel
+	ic.mu.Unlock()
+
+	start := time.Now()
+	plan := &core.RewritePlan{Query: q, Steps: []core.RewriteStep{core.StepFor(tbl, 1)}}
+	res, rows, err := core.ExecutePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Answer{
+		Result:    res,
+		Intervals: core.ConfidenceIntervals(res, level),
+		RowsRead:  rows,
+		Elapsed:   time.Since(start),
+		Rewrite:   plan,
+	}, nil
+}
+
+// SampleRows implements core.Prepared.
+func (ic *Icicle) SampleRows() int64 {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return int64(ic.table.NumRows())
+}
+
+// SampleBytes implements core.Prepared.
+func (ic *Icicle) SampleBytes() int64 {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return ic.table.ApproxBytes()
+}

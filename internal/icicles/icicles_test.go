@@ -1,0 +1,177 @@
+package icicles
+
+import (
+	"math"
+	"testing"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/metrics"
+	"dynsample/internal/randx"
+)
+
+// hotColdDB: a region column with one dominant value and several small ones.
+func hotColdDB(n int) *engine.Database {
+	region := engine.NewColumn("region", engine.String)
+	m := engine.NewColumn("m", engine.Int)
+	fact := engine.NewTable("fact", region, m)
+	rng := randx.New(41)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.92 {
+			region.AppendString("hot")
+		} else {
+			region.AppendString("cold" + string(rune('0'+rng.Intn(5))))
+		}
+		m.AppendInt(int64(rng.Intn(30)) + 1)
+		fact.EndRow()
+	}
+	return engine.MustNewDatabase("hotcold", fact)
+}
+
+func coldQuery() *engine.Query {
+	return &engine.Query{
+		GroupBy: []string{"region"},
+		Aggs:    []engine.Aggregate{{Kind: engine.Count}},
+		Where: []engine.Predicate{engine.NewIn("region",
+			engine.StringVal("cold0"), engine.StringVal("cold1"),
+			engine.StringVal("cold2"), engine.StringVal("cold3"),
+			engine.StringVal("cold4"))},
+	}
+}
+
+func TestSelfTuningImprovesOnObservedWorkload(t *testing.T) {
+	db := hotColdDB(30000)
+	exact, _ := engine.ExecuteExact(db, coldQuery())
+
+	relErrOver := func(seedBase int64, tuned bool) float64 {
+		var sum float64
+		const trials = 20
+		for s := int64(0); s < trials; s++ {
+			ic, err := New(db, Config{Rate: 0.01, Seed: seedBase + s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tuned {
+				for i := 0; i < 3; i++ {
+					if err := ic.Observe(coldQuery()); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := ic.Retune(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ans, err := ic.Answer(coldQuery())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := metrics.Compare(exact, ans.Result, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += a.RelErr
+		}
+		return sum / trials
+	}
+
+	before := relErrOver(100, false)
+	after := relErrOver(100, true)
+	if after >= before {
+		t.Errorf("self-tuning did not help: before %.4f, after %.4f", before, after)
+	}
+}
+
+func TestUnbiasedAfterTuning(t *testing.T) {
+	db := hotColdDB(20000)
+	q := &engine.Query{GroupBy: []string{"region"}, Aggs: []engine.Aggregate{{Kind: engine.Sum, Col: "m"}}}
+	exact, _ := engine.ExecuteExact(db, q)
+	key := engine.EncodeKey([]engine.Value{engine.StringVal("hot")})
+	truth := exact.Group(key).Vals[0]
+	var sum float64
+	const trials = 40
+	for s := int64(0); s < trials; s++ {
+		ic, err := New(db, Config{Rate: 0.03, Seed: 500 + s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tune toward the cold regions, then estimate the hot one: the HT
+		// weights must keep it unbiased.
+		ic.Observe(coldQuery())
+		ic.Retune()
+		ans, err := ic.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := ans.Result.Group(key); g != nil {
+			sum += g.Vals[0]
+		}
+	}
+	mean := sum / trials
+	if math.Abs(mean-truth)/truth > 0.08 {
+		t.Errorf("mean estimate %g vs truth %g", mean, truth)
+	}
+}
+
+func TestDecayForgetsStaleWorkload(t *testing.T) {
+	db := hotColdDB(5000)
+	ic, err := New(db, Config{Rate: 0.02, Decay: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic.Observe(coldQuery())
+	// Many retunes with no fresh observations: usage decays toward zero, so
+	// the sample drifts back toward uniform (smoothing dominates).
+	for i := 0; i < 12; i++ {
+		if err := ic.Retune(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, u := range ic.usage {
+		if u > 0.01 {
+			t.Fatalf("usage did not decay: %g", u)
+		}
+	}
+	if ic.Tunes() != 13 { // 1 initial + 12
+		t.Errorf("tunes = %d", ic.Tunes())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	db := hotColdDB(100)
+	for _, cfg := range []Config{{Rate: 0}, {Rate: 1.5}, {Rate: 0.1, Decay: 1.5}} {
+		if _, err := New(db, cfg); err == nil {
+			t.Errorf("config %+v not rejected", cfg)
+		}
+	}
+	empty := engine.MustNewDatabase("e", engine.NewTable("f", engine.NewColumn("region", engine.String)))
+	if _, err := New(empty, Config{Rate: 0.1}); err == nil {
+		t.Error("empty database not rejected")
+	}
+	ic, err := New(db, Config{Rate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &engine.Query{GroupBy: []string{"zzz"}, Aggs: []engine.Aggregate{{Kind: engine.Count}}}
+	if err := ic.Observe(bad); err == nil {
+		t.Error("invalid observed query not rejected")
+	}
+}
+
+func TestSampleSizeStable(t *testing.T) {
+	db := hotColdDB(20000)
+	ic, err := New(db, Config{Rate: 0.02, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.02 * 20000
+	for i := 0; i < 4; i++ {
+		got := float64(ic.SampleRows())
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("tune %d: sample rows %g, want ~%g", i, got, want)
+		}
+		ic.Observe(coldQuery())
+		ic.Retune()
+	}
+	if ic.SampleBytes() <= 0 {
+		t.Error("SampleBytes not positive")
+	}
+}

@@ -1,0 +1,35 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/metrics"
+)
+
+// ExampleCompare scores an approximate answer against the exact one using
+// the paper's Definitions 4.1-4.2: the missed group counts as 100% relative
+// error.
+func ExampleCompare() {
+	mk := func(counts map[string]float64) *engine.Result {
+		r := engine.NewResult([]string{"g"}, []engine.Aggregate{{Kind: engine.Count}})
+		for k, v := range counts {
+			key := engine.EncodeKey([]engine.Value{engine.StringVal(k)})
+			kv := k
+			g := r.Upsert(key, func() []engine.Value { return []engine.Value{engine.StringVal(kv)} })
+			g.Vals[0] = v
+		}
+		return r
+	}
+	exact := mk(map[string]float64{"a": 100, "b": 50, "c": 10})
+	approx := mk(map[string]float64{"a": 110, "b": 50}) // c missed, a off by 10%
+
+	acc, err := metrics.Compare(exact, approx, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("RelErr=%.4f PctGroups=%.1f%% missed=%d of %d\n",
+		acc.RelErr, acc.PctGroups, acc.Missed, acc.Groups)
+	// Output:
+	// RelErr=0.3667 PctGroups=33.3% missed=1 of 3
+}

@@ -1,0 +1,120 @@
+// Package metrics implements the accuracy metrics of §4.3: the percentage of
+// groups missed by an approximate answer (Definition 4.1), the average
+// relative error (Definition 4.2) and the average squared relative error
+// (Definition 4.3). Groups of the exact answer that are missing from the
+// approximate answer contribute 100% relative error; spurious groups cannot
+// occur with sampling-based estimators (the paper assumes G' ⊆ G) but are
+// counted defensively as extra misses if present.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"dynsample/internal/engine"
+)
+
+// Accuracy summarises how well an approximate result matches the exact one
+// for a single aggregate of a single query.
+type Accuracy struct {
+	// PctGroups is the percentage (0-100) of exact-answer groups absent from
+	// the approximate answer (Definition 4.1).
+	PctGroups float64
+	// RelErr is the average relative error (Definition 4.2).
+	RelErr float64
+	// SqRelErr is the average squared relative error (Definition 4.3).
+	SqRelErr float64
+	// Groups is n, the number of groups in the exact answer.
+	Groups int
+	// Missed is n-m, the number of exact groups missing from the approximation.
+	Missed int
+}
+
+// Compare evaluates an approximate result against the exact result for the
+// aggregate at index agg. Groups whose exact aggregate value is zero are
+// skipped in the relative-error averages when the estimate is also zero, and
+// counted as 100% error otherwise (relative error against zero is undefined;
+// COUNT and SUM over positive measures make this a non-issue in practice,
+// matching the paper's setup).
+func Compare(exact, approx *engine.Result, agg int) (Accuracy, error) {
+	if agg < 0 || agg >= len(exact.Aggs) {
+		return Accuracy{}, fmt.Errorf("metrics: aggregate index %d out of range", agg)
+	}
+	if len(exact.Aggs) != len(approx.Aggs) {
+		return Accuracy{}, fmt.Errorf("metrics: result shapes differ (%d vs %d aggregates)", len(exact.Aggs), len(approx.Aggs))
+	}
+	n := exact.NumGroups()
+	if n == 0 {
+		return Accuracy{}, nil
+	}
+	var (
+		missed     int
+		sumRel     float64
+		sumSqRel   float64
+		comparable int
+	)
+	for _, k := range exact.Keys() {
+		eg := exact.Group(k)
+		ag := approx.Group(k)
+		if ag == nil {
+			missed++
+			sumRel += 1
+			sumSqRel += 1
+			continue
+		}
+		x := eg.Vals[agg]
+		xhat := ag.Vals[agg]
+		if x == 0 {
+			if xhat != 0 {
+				sumRel += 1
+				sumSqRel += 1
+			}
+			comparable++
+			continue
+		}
+		rel := math.Abs(x-xhat) / math.Abs(x)
+		sumRel += rel
+		sumSqRel += rel * rel
+		comparable++
+	}
+	return Accuracy{
+		PctGroups: 100 * float64(missed) / float64(n),
+		RelErr:    sumRel / float64(n),
+		SqRelErr:  sumSqRel / float64(n),
+		Groups:    n,
+		Missed:    missed,
+	}, nil
+}
+
+// Mean averages a set of per-query accuracies, as the experiments do over
+// their generated workloads ("we ... averaged the running time as well as
+// the accuracy", §5.2.3).
+func Mean(accs []Accuracy) Accuracy {
+	if len(accs) == 0 {
+		return Accuracy{}
+	}
+	var out Accuracy
+	for _, a := range accs {
+		out.PctGroups += a.PctGroups
+		out.RelErr += a.RelErr
+		out.SqRelErr += a.SqRelErr
+		out.Groups += a.Groups
+		out.Missed += a.Missed
+	}
+	k := float64(len(accs))
+	out.PctGroups /= k
+	out.RelErr /= k
+	out.SqRelErr /= k
+	return out
+}
+
+// PerGroupSelectivity returns the average group size of the exact result as
+// a fraction of the database size — the x-axis of Figure 5 ("the per group
+// selectivity of a query is defined as the average group size ... in the
+// query result").
+func PerGroupSelectivity(exact *engine.Result, dbRows int) float64 {
+	if exact.NumGroups() == 0 || dbRows == 0 {
+		return 0
+	}
+	return float64(exact.RowsMatched) / float64(exact.NumGroups()) / float64(dbRows)
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dynsample/internal/engine"
+)
+
+func mkResult(counts map[int64]float64) *engine.Result {
+	r := engine.NewResult([]string{"g"}, []engine.Aggregate{{Kind: engine.Count}})
+	for k, v := range counts {
+		key := engine.EncodeKey([]engine.Value{engine.IntVal(k)})
+		kv := k
+		g := r.Upsert(key, func() []engine.Value { return []engine.Value{engine.IntVal(kv)} })
+		g.Vals[0] = v
+	}
+	return r
+}
+
+func TestCompareExactMatch(t *testing.T) {
+	exact := mkResult(map[int64]float64{1: 10, 2: 20})
+	acc, err := Compare(exact, mkResult(map[int64]float64{1: 10, 2: 20}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.PctGroups != 0 || acc.RelErr != 0 || acc.SqRelErr != 0 {
+		t.Errorf("perfect match scored %+v", acc)
+	}
+	if acc.Groups != 2 || acc.Missed != 0 {
+		t.Errorf("counts wrong: %+v", acc)
+	}
+}
+
+func TestCompareMissedGroupsScoreFullError(t *testing.T) {
+	// Definition 4.2: each omitted group contributes relative error 1.
+	exact := mkResult(map[int64]float64{1: 10, 2: 20, 3: 30, 4: 40})
+	approx := mkResult(map[int64]float64{1: 10, 2: 20})
+	acc, err := Compare(exact, approx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.PctGroups != 50 {
+		t.Errorf("PctGroups = %g, want 50", acc.PctGroups)
+	}
+	if math.Abs(acc.RelErr-0.5) > 1e-12 { // (0+0+1+1)/4
+		t.Errorf("RelErr = %g, want 0.5", acc.RelErr)
+	}
+	if math.Abs(acc.SqRelErr-0.5) > 1e-12 {
+		t.Errorf("SqRelErr = %g, want 0.5", acc.SqRelErr)
+	}
+	if acc.Missed != 2 {
+		t.Errorf("Missed = %d", acc.Missed)
+	}
+}
+
+func TestCompareValueErrors(t *testing.T) {
+	exact := mkResult(map[int64]float64{1: 100, 2: 200})
+	approx := mkResult(map[int64]float64{1: 110, 2: 150}) // rel errs 0.1 and 0.25
+	acc, err := Compare(exact, approx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc.RelErr-0.175) > 1e-12 {
+		t.Errorf("RelErr = %g, want 0.175", acc.RelErr)
+	}
+	want := (0.01 + 0.0625) / 2
+	if math.Abs(acc.SqRelErr-want) > 1e-12 {
+		t.Errorf("SqRelErr = %g, want %g", acc.SqRelErr, want)
+	}
+}
+
+func TestCompareHandbookExample(t *testing.T) {
+	// Example 3.1 from the paper: 90 Stereo + 10 TV tuples; a 10% uniform
+	// sample that caught 0 TV tuples misses the TV group entirely.
+	exact := mkResult(map[int64]float64{0: 90, 1: 10})
+	approx := mkResult(map[int64]float64{0: 90}) // TV group absent
+	acc, err := Compare(exact, approx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.PctGroups != 50 {
+		t.Errorf("PctGroups = %g", acc.PctGroups)
+	}
+	if math.Abs(acc.RelErr-0.5) > 1e-12 {
+		t.Errorf("RelErr = %g", acc.RelErr)
+	}
+}
+
+func TestCompareZeroExactValue(t *testing.T) {
+	exact := mkResult(map[int64]float64{1: 0, 2: 10})
+	// Matching zero: no error. Non-zero estimate of zero group: full error.
+	accOK, err := Compare(exact, mkResult(map[int64]float64{1: 0, 2: 10}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accOK.RelErr != 0 {
+		t.Errorf("zero-zero RelErr = %g", accOK.RelErr)
+	}
+	accBad, err := Compare(exact, mkResult(map[int64]float64{1: 5, 2: 10}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(accBad.RelErr-0.5) > 1e-12 {
+		t.Errorf("zero-nonzero RelErr = %g, want 0.5", accBad.RelErr)
+	}
+}
+
+func TestCompareEmptyExact(t *testing.T) {
+	acc, err := Compare(mkResult(nil), mkResult(nil), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Groups != 0 || acc.RelErr != 0 {
+		t.Errorf("empty compare = %+v", acc)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	exact := mkResult(map[int64]float64{1: 1})
+	if _, err := Compare(exact, exact, 1); err == nil {
+		t.Error("agg index out of range not rejected")
+	}
+	other := engine.NewResult(nil, []engine.Aggregate{{Kind: engine.Count}, {Kind: engine.Count}})
+	if _, err := Compare(exact, other, 0); err == nil {
+		t.Error("shape mismatch not rejected")
+	}
+}
+
+func TestMean(t *testing.T) {
+	accs := []Accuracy{
+		{PctGroups: 10, RelErr: 0.2, SqRelErr: 0.04, Groups: 5, Missed: 1},
+		{PctGroups: 30, RelErr: 0.4, SqRelErr: 0.16, Groups: 10, Missed: 3},
+	}
+	m := Mean(accs)
+	if m.PctGroups != 20 || math.Abs(m.RelErr-0.3) > 1e-12 || math.Abs(m.SqRelErr-0.1) > 1e-12 {
+		t.Errorf("Mean = %+v", m)
+	}
+	if m.Groups != 15 || m.Missed != 4 {
+		t.Errorf("Mean totals = %+v", m)
+	}
+	if z := Mean(nil); z.RelErr != 0 {
+		t.Errorf("Mean(nil) = %+v", z)
+	}
+}
+
+func TestPerGroupSelectivity(t *testing.T) {
+	r := mkResult(map[int64]float64{1: 1, 2: 1})
+	r.RowsMatched = 200
+	// 200 matched rows over 2 groups in a 10000-row DB: avg group is 1%.
+	if got := PerGroupSelectivity(r, 10000); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("PerGroupSelectivity = %g, want 0.01", got)
+	}
+	if got := PerGroupSelectivity(mkResult(nil), 10000); got != 0 {
+		t.Errorf("empty selectivity = %g", got)
+	}
+}

@@ -1,0 +1,247 @@
+// Package outlier implements outlier indexing [Chaudhuri, Das, Datar,
+// Motwani, Narasayya — ICDE 2001], the baseline of §5.3.3 for SUM queries
+// over skewed measure attributes, and the OverallBuilder that plugs it into
+// small group sampling ("small group sampling enhanced with outlier
+// indexing", §4.2.1).
+//
+// The technique splits the database into an outlier set — the rows whose
+// removal minimises the variance of the remaining measure values — stored
+// completely (weight 1), plus a uniform sample of the remainder scaled by its
+// inverse sampling rate. The optimal outlier set for variance minimisation is
+// the complement of a contiguous window in the sorted order of the measure
+// values, found here by sliding that window with prefix sums.
+package outlier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+	"dynsample/internal/randx"
+	"dynsample/internal/sample"
+)
+
+// Config parameterises outlier indexing.
+type Config struct {
+	// Rate is the total sample budget as a fraction of the database,
+	// covering both the outlier set and the remainder sample.
+	Rate float64
+	// Measure is the aggregate column the outlier index is built for.
+	Measure string
+	// OutlierShare is the fraction of the budget devoted to outlier rows
+	// (zero means 0.5).
+	OutlierShare float64
+	// ConfidenceLevel is the nominal CI coverage; zero means 0.95.
+	ConfidenceLevel float64
+	// Label overrides the strategy name.
+	Label string
+	// Seed drives the remainder sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.OutlierShare == 0 {
+		c.OutlierShare = 0.5
+	}
+	return c
+}
+
+// Strategy is the outlier indexing baseline.
+type Strategy struct {
+	cfg Config
+}
+
+// New returns the strategy.
+func New(cfg Config) *Strategy { return &Strategy{cfg: cfg} }
+
+// Name implements core.Strategy.
+func (s *Strategy) Name() string {
+	if s.cfg.Label != "" {
+		return s.cfg.Label
+	}
+	return "outlier"
+}
+
+// SelectOutliers returns the indices (into values) of the k elements whose
+// removal minimises the variance of the remaining values. The optimal set is
+// the complement of a length-(n−k) window in sorted order; the window is
+// found with prefix sums in O(n log n).
+func SelectOutliers(values []float64, k int) []int {
+	n := len(values)
+	if k <= 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return values[order[a]] < values[order[b]] })
+
+	prefix := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, ix := range order {
+		v := values[ix]
+		prefix[i+1] = prefix[i] + v
+		prefixSq[i+1] = prefixSq[i] + v*v
+	}
+
+	w := n - k // window length
+	bestStart, bestVar := 0, math.Inf(1)
+	for s := 0; s+w <= n; s++ {
+		sum := prefix[s+w] - prefix[s]
+		sumSq := prefixSq[s+w] - prefixSq[s]
+		variance := sumSq/float64(w) - (sum/float64(w))*(sum/float64(w))
+		if variance < bestVar {
+			bestVar = variance
+			bestStart = s
+		}
+	}
+	out := make([]int, 0, k)
+	out = append(out, order[:bestStart]...)
+	out = append(out, order[bestStart+w:]...)
+	sort.Ints(out)
+	return out
+}
+
+// build selects outlier rows and a remainder sample over db, returning row
+// indices with per-row weights. Shared by the standalone strategy and the
+// OverallBuilder.
+func build(db *engine.Database, cfg Config, target int, seed int64) ([]int, []float64, error) {
+	acc, err := db.Accessor(cfg.Measure)
+	if err != nil {
+		return nil, nil, fmt.Errorf("outlier: %w", err)
+	}
+	n := db.NumRows()
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = acc.Float(i)
+	}
+	k := int(cfg.OutlierShare * float64(target))
+	if k > target {
+		k = target
+	}
+	outliers := SelectOutliers(values, k)
+	isOutlier := make([]bool, n)
+	for _, ix := range outliers {
+		isOutlier[ix] = true
+	}
+	remainder := make([]int, 0, n-len(outliers))
+	for i := 0; i < n; i++ {
+		if !isOutlier[i] {
+			remainder = append(remainder, i)
+		}
+	}
+	sampleSize := target - len(outliers)
+	if sampleSize < 1 && len(remainder) > 0 {
+		sampleSize = 1
+	}
+	rng := randx.New(seed)
+	var rows []int
+	var weights []float64
+	for _, ix := range outliers {
+		rows = append(rows, ix)
+		weights = append(weights, 1)
+	}
+	if len(remainder) > 0 && sampleSize > 0 {
+		picked := sample.FixedSize(rng, len(remainder), sampleSize)
+		w := float64(len(remainder)) / float64(len(picked))
+		for _, p := range picked {
+			rows = append(rows, remainder[p])
+			weights = append(weights, w)
+		}
+	}
+	// Restore base-row order for scan locality.
+	order := make([]int, len(rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rows[order[a]] < rows[order[b]] })
+	sr := make([]int, len(rows))
+	sw := make([]float64, len(rows))
+	for i, o := range order {
+		sr[i] = rows[o]
+		sw[i] = weights[o]
+	}
+	return sr, sw, nil
+}
+
+// Preprocess implements core.Strategy.
+func (s *Strategy) Preprocess(db *engine.Database) (core.Prepared, error) {
+	cfg := s.cfg.withDefaults()
+	if cfg.Rate <= 0 || cfg.Rate > 1 {
+		return nil, fmt.Errorf("outlier: rate %g out of (0,1]", cfg.Rate)
+	}
+	if db.NumRows() == 0 {
+		return nil, fmt.Errorf("outlier: database %q is empty", db.Name)
+	}
+	target := int(cfg.Rate * float64(db.NumRows()))
+	if target < 1 {
+		target = 1
+	}
+	rows, weights, err := build(db, cfg, target, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tbl := db.Flatten("outlier_sample", rows, nil, weights)
+	return &prepared{table: tbl, level: cfg.ConfidenceLevel}, nil
+}
+
+type prepared struct {
+	table *engine.Table
+	level float64
+}
+
+// Answer implements core.Prepared. Outlier rows carry weight 1 and remainder
+// rows their inverse sampling rate, so a single weighted execution yields the
+// stratified estimate (exact outlier contribution + scaled sample estimate)
+// for both COUNT and SUM.
+func (p *prepared) Answer(q *engine.Query) (*core.Answer, error) {
+	start := time.Now()
+	plan := &core.RewritePlan{
+		Query: q,
+		Steps: []core.RewriteStep{core.StepFor(p.table, 1)},
+	}
+	res, rows, err := core.ExecutePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Answer{
+		Result:    res,
+		Intervals: core.ConfidenceIntervals(res, p.level),
+		RowsRead:  rows,
+		Elapsed:   time.Since(start),
+		Rewrite:   plan,
+	}, nil
+}
+
+// SampleRows implements core.Prepared.
+func (p *prepared) SampleRows() int64 { return int64(p.table.NumRows()) }
+
+// SampleBytes implements core.Prepared.
+func (p *prepared) SampleBytes() int64 { return p.table.ApproxBytes() }
+
+// OverallBuilder adapts outlier indexing as the overall sample of small
+// group sampling (§4.2.1's "small group sampling enhanced with outlier
+// indexing").
+type OverallBuilder struct {
+	// Measure is the aggregate column to build the index for.
+	Measure string
+	// OutlierShare is the budget fraction for outlier rows (zero means 0.5).
+	OutlierShare float64
+}
+
+// BuildOverall implements core.OverallBuilder.
+func (b OverallBuilder) BuildOverall(db *engine.Database, target int, seed int64) ([]int, []float64, error) {
+	cfg := Config{Measure: b.Measure, OutlierShare: b.OutlierShare}.withDefaults()
+	return build(db, cfg, target, seed)
+}

@@ -1,0 +1,209 @@
+// Package server exposes the AQP middleware over HTTP, matching the
+// deployment shape §2 describes for sampling-based systems: "a thin layer of
+// middleware which re-writes queries to run against sample tables". Clients
+// POST SQL; the server compiles it, answers from the pre-built samples, and
+// returns per-group estimates with confidence intervals and exactness flags.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+	"dynsample/internal/sqlparse"
+)
+
+// Server routes HTTP requests to a core.System.
+type Server struct {
+	sys      *core.System
+	strategy string
+}
+
+// New returns a server answering queries with the named registered strategy.
+func New(sys *core.System, strategy string) *Server {
+	return &Server{sys: sys, strategy: strategy}
+}
+
+// QueryRequest is the body of POST /query and POST /exact.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// Explain additionally returns the rewritten UNION ALL sample query.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// GroupJSON is one group of an answer.
+type GroupJSON struct {
+	Key    []string  `json:"key"`
+	Values []float64 `json:"values"`
+	Exact  bool      `json:"exact"`
+	// CI holds [lo, hi] per value; omitted for exact queries.
+	CI [][2]float64 `json:"ci,omitempty"`
+}
+
+// QueryResponse is the body returned by /query and /exact.
+type QueryResponse struct {
+	Columns   []string    `json:"columns"`
+	Groups    []GroupJSON `json:"groups"`
+	RowsRead  int64       `json:"rowsRead,omitempty"`
+	ElapsedUS int64       `json:"elapsedMicros"`
+	Rewrite   string      `json:"rewrite,omitempty"`
+}
+
+// ErrorResponse is returned with non-2xx statuses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /exact", s.handleExact)
+	mux.HandleFunc("GET /columns", s.handleColumns)
+	mux.HandleFunc("GET /strategies", s.handleStrategies)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func (s *Server) compile(w http.ResponseWriter, r *http.Request) (*sqlparse.Compiled, *QueryRequest, bool) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return nil, nil, false
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty sql"))
+		return nil, nil, false
+	}
+	stmt, err := sqlparse.Parse(strings.TrimSuffix(strings.TrimSpace(req.SQL), ";"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	compiled, err := sqlparse.Compile(stmt, s.sys.DB())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	return compiled, &req, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	compiled, req, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	ans, err := s.sys.Approx(s.strategy, compiled.Query)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := QueryResponse{
+		Columns:   outputNames(compiled),
+		RowsRead:  ans.RowsRead,
+		ElapsedUS: ans.Elapsed.Microseconds(),
+	}
+	if req.Explain && ans.Rewrite != nil {
+		resp.Rewrite = ans.Rewrite.SQL()
+	}
+	for _, g := range compiled.Present(ans.Result) {
+		key := engine.EncodeKey(g.Key)
+		gj := GroupJSON{Exact: g.Exact}
+		for _, v := range g.Key {
+			gj.Key = append(gj.Key, strings.Trim(v.String(), "'"))
+		}
+		for _, o := range compiled.Outputs {
+			switch o.Kind {
+			case sqlparse.OutAgg:
+				gj.Values = append(gj.Values, g.Vals[o.AggIndex])
+				iv := ans.Interval(key, o.AggIndex)
+				gj.CI = append(gj.CI, [2]float64{iv.Lo, iv.Hi})
+			case sqlparse.OutAvg:
+				avg := 0.0
+				if g.Vals[o.DenIndex] != 0 {
+					avg = g.Vals[o.NumIndex] / g.Vals[o.DenIndex]
+				}
+				gj.Values = append(gj.Values, avg)
+				gj.CI = append(gj.CI, [2]float64{avg, avg})
+			}
+		}
+		resp.Groups = append(resp.Groups, gj)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
+	compiled, _, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	res, _, err := s.sys.Exact(compiled.Query)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := QueryResponse{
+		Columns:   outputNames(compiled),
+		ElapsedUS: time.Since(start).Microseconds(),
+	}
+	for _, g := range compiled.Present(res) {
+		gj := GroupJSON{Exact: true}
+		for _, v := range g.Key {
+			gj.Key = append(gj.Key, strings.Trim(v.String(), "'"))
+		}
+		for _, o := range compiled.Outputs {
+			switch o.Kind {
+			case sqlparse.OutAgg:
+				gj.Values = append(gj.Values, g.Vals[o.AggIndex])
+			case sqlparse.OutAvg:
+				avg := 0.0
+				if g.Vals[o.DenIndex] != 0 {
+					avg = g.Vals[o.NumIndex] / g.Vals[o.DenIndex]
+				}
+				gj.Values = append(gj.Values, avg)
+			}
+		}
+		resp.Groups = append(resp.Groups, gj)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleColumns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"database": s.sys.DB().Name,
+		"rows":     s.sys.DB().NumRows(),
+		"columns":  s.sys.DB().Columns(),
+	})
+}
+
+func (s *Server) handleStrategies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"strategies": s.sys.Strategies(), "active": s.strategy})
+}
+
+func outputNames(c *sqlparse.Compiled) []string {
+	var names []string
+	for _, o := range c.Outputs {
+		names = append(names, o.Name)
+	}
+	return names
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+	"dynsample/internal/randx"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	region := engine.NewColumn("region", engine.String)
+	amount := engine.NewColumn("amount", engine.Float)
+	fact := engine.NewTable("sales", region, amount)
+	rng := randx.New(31)
+	zi := randx.NewZipf(1.5, 40)
+	for i := 0; i < 20000; i++ {
+		region.AppendString("r" + string(rune('a'+zi.Draw(rng)%26)) + string(rune('a'+zi.Draw(rng)%26)))
+		amount.AppendFloat(rng.Float64() * 100)
+		fact.EndRow()
+	}
+	db := engine.MustNewDatabase("salesdb", fact)
+	sys := core.NewSystem(db)
+	if err := sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: 0.05, Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(sys, "smallgroup").Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, srv *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, body := post(t, srv, "/query", QueryRequest{
+		SQL:     "SELECT region, COUNT(*), AVG(amount) FROM T GROUP BY region",
+		Explain: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Columns) != 3 || qr.Columns[0] != "region" {
+		t.Errorf("columns = %v", qr.Columns)
+	}
+	if len(qr.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	sawExact := false
+	for _, g := range qr.Groups {
+		if len(g.Key) != 1 || len(g.Values) != 2 || len(g.CI) != 2 {
+			t.Fatalf("group shape wrong: %+v", g)
+		}
+		if g.CI[0][0] > g.Values[0] || g.CI[0][1] < g.Values[0] {
+			t.Errorf("CI %v excludes estimate %g", g.CI[0], g.Values[0])
+		}
+		if g.Exact {
+			sawExact = true
+			if g.CI[0][0] != g.CI[0][1] {
+				t.Errorf("exact group with nonzero CI width: %v", g.CI[0])
+			}
+		}
+	}
+	if !sawExact {
+		t.Error("no exact groups on skewed data")
+	}
+	if !strings.Contains(qr.Rewrite, "UNION ALL") {
+		t.Errorf("explain did not return the rewrite: %q", qr.Rewrite)
+	}
+	if qr.RowsRead <= 0 {
+		t.Errorf("rowsRead = %d", qr.RowsRead)
+	}
+}
+
+func TestExactEndpointAgreesOnExactGroups(t *testing.T) {
+	srv := testServer(t)
+	q := QueryRequest{SQL: "SELECT region, COUNT(*) FROM T GROUP BY region"}
+	_, approxBody := post(t, srv, "/query", q)
+	_, exactBody := post(t, srv, "/exact", q)
+	var approx, exact QueryResponse
+	json.Unmarshal(approxBody, &approx)
+	json.Unmarshal(exactBody, &exact)
+	exactByKey := map[string]float64{}
+	for _, g := range exact.Groups {
+		exactByKey[g.Key[0]] = g.Values[0]
+	}
+	for _, g := range approx.Groups {
+		if g.Exact && exactByKey[g.Key[0]] != g.Values[0] {
+			t.Errorf("exact-flagged group %s: %g vs truth %g", g.Key[0], g.Values[0], exactByKey[g.Key[0]])
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		path string
+		body string
+	}{
+		{"/query", `{`},
+		{"/query", `{"sql": ""}`},
+		{"/query", `{"sql": "SELEC nonsense"}`},
+		{"/query", `{"sql": "SELECT COUNT(*) FROM T WHERE missing = 1"}`},
+		{"/exact", `{"sql": "not sql"}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %q: status %d, want 400", c.path, c.body, resp.StatusCode)
+		}
+	}
+}
+
+func TestMetaEndpoints(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/columns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols struct {
+		Database string   `json:"database"`
+		Rows     int      `json:"rows"`
+		Columns  []string `json:"columns"`
+	}
+	json.NewDecoder(resp.Body).Decode(&cols)
+	resp.Body.Close()
+	if cols.Database != "salesdb" || cols.Rows != 20000 || len(cols.Columns) != 2 {
+		t.Errorf("columns response: %+v", cols)
+	}
+
+	resp, err = http.Get(srv.URL + "/strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strat struct {
+		Strategies []string `json:"strategies"`
+		Active     string   `json:"active"`
+	}
+	json.NewDecoder(resp.Body).Decode(&strat)
+	resp.Body.Close()
+	if strat.Active != "smallgroup" || len(strat.Strategies) != 1 {
+		t.Errorf("strategies response: %+v", strat)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /query status %d", resp.StatusCode)
+	}
+}
+
+func TestQueryOrderByAndLimit(t *testing.T) {
+	srv := testServer(t)
+	resp, body := post(t, srv, "/query", QueryRequest{
+		SQL: "SELECT region, COUNT(*) AS cnt FROM T GROUP BY region ORDER BY cnt DESC LIMIT 3",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (LIMIT)", len(qr.Groups))
+	}
+	for i := 1; i < len(qr.Groups); i++ {
+		if qr.Groups[i].Values[0] > qr.Groups[i-1].Values[0] {
+			t.Errorf("not sorted descending: %v then %v", qr.Groups[i-1].Values[0], qr.Groups[i].Values[0])
+		}
+	}
+}

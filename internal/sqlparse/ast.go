@@ -1,0 +1,190 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectStmt is the AST of one aggregation query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    string
+	Where   []Condition
+	GroupBy []string
+	Having  []HavingCond
+	OrderBy []OrderItem
+	// Limit caps the returned groups; 0 means no limit.
+	Limit int
+}
+
+// HavingCond filters groups on an aggregate value: "HAVING SUM(x) > 5" or
+// "HAVING cnt >= 10" (alias reference).
+type HavingCond struct {
+	// Agg, when non-nil, is the aggregate expression; otherwise Ref names a
+	// select-list alias.
+	Agg   *AggExpr
+	Ref   string
+	Op    string
+	Value Literal
+}
+
+// OrderItem is one ORDER BY key: a column/alias reference or an aggregate
+// expression, ascending by default.
+type OrderItem struct {
+	Agg  *AggExpr
+	Ref  string
+	Desc bool
+}
+
+// SelectItem is one SELECT-list entry: either a bare column reference or an
+// aggregate expression, optionally aliased.
+type SelectItem struct {
+	Column string   // set for bare column references
+	Agg    *AggExpr // set for aggregates
+	Alias  string
+}
+
+// AggExpr is COUNT(*), COUNT(col), SUM(col) or AVG(col).
+type AggExpr struct {
+	Func string // upper-cased: COUNT, SUM, AVG
+	Arg  string // empty for COUNT(*)
+}
+
+// Condition is a single WHERE conjunct.
+type Condition interface {
+	condString() string
+}
+
+// Literal is a parsed SQL literal.
+type Literal struct {
+	IsString bool
+	Str      string
+	Num      float64
+	IsInt    bool
+	Int      int64
+}
+
+// String renders the literal back to SQL.
+func (l Literal) String() string {
+	switch {
+	case l.IsString:
+		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
+	case l.IsInt:
+		return fmt.Sprintf("%d", l.Int)
+	default:
+		return fmt.Sprintf("%g", l.Num)
+	}
+}
+
+// InCond is "col IN (lit, ...)".
+type InCond struct {
+	Column string
+	Values []Literal
+}
+
+func (c *InCond) condString() string {
+	parts := make([]string, len(c.Values))
+	for i, v := range c.Values {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s IN (%s)", c.Column, strings.Join(parts, ", "))
+}
+
+// CmpCond is "col <op> lit" with op in =, <>, <, <=, >, >=.
+type CmpCond struct {
+	Column string
+	Op     string
+	Value  Literal
+}
+
+func (c *CmpCond) condString() string {
+	return fmt.Sprintf("%s %s %s", c.Column, c.Op, c.Value)
+}
+
+// BetweenCond is "col BETWEEN lo AND hi".
+type BetweenCond struct {
+	Column string
+	Lo, Hi Literal
+}
+
+func (c *BetweenCond) condString() string {
+	return fmt.Sprintf("%s BETWEEN %s AND %s", c.Column, c.Lo, c.Hi)
+}
+
+// String renders the statement back to SQL. Parsing the output yields an
+// equivalent AST (round-trip property).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case it.Agg != nil && it.Agg.Arg == "":
+			fmt.Fprintf(&sb, "%s(*)", it.Agg.Func)
+		case it.Agg != nil:
+			fmt.Fprintf(&sb, "%s(%s)", it.Agg.Func, it.Agg.Arg)
+		default:
+			sb.WriteString(it.Column)
+		}
+		if it.Alias != "" {
+			fmt.Fprintf(&sb, " AS %s", it.Alias)
+		}
+	}
+	fmt.Fprintf(&sb, " FROM %s", s.From)
+	if len(s.Where) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, c := range s.Where {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(c.condString())
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(s.GroupBy, ", "))
+	}
+	if len(s.Having) > 0 {
+		sb.WriteString(" HAVING ")
+		for i, h := range s.Having {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			if h.Agg != nil {
+				sb.WriteString(aggString(h.Agg))
+			} else {
+				sb.WriteString(h.Ref)
+			}
+			fmt.Fprintf(&sb, " %s %s", h.Op, h.Value)
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			if o.Agg != nil {
+				sb.WriteString(aggString(o.Agg))
+			} else {
+				sb.WriteString(o.Ref)
+			}
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
+	}
+	return sb.String()
+}
+
+func aggString(a *AggExpr) string {
+	if a.Arg == "" {
+		return a.Func + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Arg)
+}

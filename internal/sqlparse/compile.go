@@ -1,0 +1,407 @@
+package sqlparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dynsample/internal/engine"
+)
+
+// OutputKind tells how one SELECT item is produced from the compiled query.
+type OutputKind int
+
+// Output kinds.
+const (
+	// OutGroup is a group-by column; GroupIndex identifies it.
+	OutGroup OutputKind = iota
+	// OutAgg is a direct aggregate; AggIndex identifies it.
+	OutAgg
+	// OutAvg divides aggregate NumIndex by aggregate DenIndex (AVG support:
+	// the engine computes COUNT and SUM, matching the paper's scope, and AVG
+	// is derived by the middleware).
+	OutAvg
+)
+
+// Output describes how to render one SELECT item from a query result.
+type Output struct {
+	Kind       OutputKind
+	Name       string
+	GroupIndex int
+	AggIndex   int
+	NumIndex   int
+	DenIndex   int
+}
+
+// HavingFilter is a compiled HAVING conjunct: a numeric condition on an
+// aggregate output, applied to each group after combination.
+type HavingFilter struct {
+	Output Output
+	Op     engine.CmpOp
+	Value  float64
+}
+
+// OrderKey is one compiled ORDER BY key.
+type OrderKey struct {
+	Output Output
+	Desc   bool
+}
+
+// Compiled pairs an engine query with the mapping back to the SELECT list
+// and the post-aggregation presentation (HAVING, ORDER BY, LIMIT).
+type Compiled struct {
+	Query   *engine.Query
+	Outputs []Output
+	Having  []HavingFilter
+	Order   []OrderKey
+	// Limit caps the presented groups; 0 means no limit.
+	Limit int
+}
+
+// Compile type-checks the statement against db and lowers it to an engine
+// query. AVG(col) is expanded into SUM(col) and COUNT(*) aggregates plus an
+// OutAvg output.
+func Compile(stmt *SelectStmt, db *engine.Database) (*Compiled, error) {
+	if !validFrom(stmt.From, db) {
+		return nil, fmt.Errorf("sqlparse: unknown table %q (expected %q)", stmt.From, db.Name)
+	}
+
+	q := &engine.Query{GroupBy: stmt.GroupBy}
+	groupIx := make(map[string]int, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		if !db.HasColumn(g) {
+			return nil, fmt.Errorf("sqlparse: unknown group-by column %q", g)
+		}
+		groupIx[g] = i
+	}
+
+	// ensureAgg appends the aggregate if not already present and returns its
+	// index.
+	ensureAgg := func(a engine.Aggregate) int {
+		for i, e := range q.Aggs {
+			if e == a {
+				return i
+			}
+		}
+		q.Aggs = append(q.Aggs, a)
+		return len(q.Aggs) - 1
+	}
+
+	c := &Compiled{Query: q}
+	for _, item := range stmt.Items {
+		name := item.Alias
+		switch {
+		case item.Agg == nil:
+			gi, ok := groupIx[item.Column]
+			if !ok {
+				return nil, fmt.Errorf("sqlparse: column %q must appear in GROUP BY", item.Column)
+			}
+			if name == "" {
+				name = item.Column
+			}
+			c.Outputs = append(c.Outputs, Output{Kind: OutGroup, Name: name, GroupIndex: gi})
+		case item.Agg.Func == "COUNT":
+			// COUNT(col) == COUNT(*) in this engine (no NULLs).
+			ix := ensureAgg(engine.Aggregate{Kind: engine.Count})
+			if name == "" {
+				name = "count"
+			}
+			c.Outputs = append(c.Outputs, Output{Kind: OutAgg, Name: name, AggIndex: ix})
+		case item.Agg.Func == "SUM":
+			if err := checkNumeric(db, item.Agg.Arg); err != nil {
+				return nil, err
+			}
+			ix := ensureAgg(engine.Aggregate{Kind: engine.Sum, Col: item.Agg.Arg})
+			if name == "" {
+				name = "sum_" + item.Agg.Arg
+			}
+			c.Outputs = append(c.Outputs, Output{Kind: OutAgg, Name: name, AggIndex: ix})
+		case item.Agg.Func == "AVG":
+			if err := checkNumeric(db, item.Agg.Arg); err != nil {
+				return nil, err
+			}
+			num := ensureAgg(engine.Aggregate{Kind: engine.Sum, Col: item.Agg.Arg})
+			den := ensureAgg(engine.Aggregate{Kind: engine.Count})
+			if name == "" {
+				name = "avg_" + item.Agg.Arg
+			}
+			c.Outputs = append(c.Outputs, Output{Kind: OutAvg, Name: name, NumIndex: num, DenIndex: den})
+		default:
+			return nil, fmt.Errorf("sqlparse: unsupported aggregate %q", item.Agg.Func)
+		}
+	}
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("sqlparse: query has no aggregate expression")
+	}
+
+	// Resolve a HAVING/ORDER BY reference to an output (possibly adding a
+	// hidden aggregate to the query).
+	resolve := func(agg *AggExpr, ref string) (Output, error) {
+		if agg != nil {
+			switch agg.Func {
+			case "COUNT":
+				return Output{Kind: OutAgg, AggIndex: ensureAgg(engine.Aggregate{Kind: engine.Count})}, nil
+			case "SUM":
+				if err := checkNumeric(db, agg.Arg); err != nil {
+					return Output{}, err
+				}
+				return Output{Kind: OutAgg, AggIndex: ensureAgg(engine.Aggregate{Kind: engine.Sum, Col: agg.Arg})}, nil
+			case "AVG":
+				if err := checkNumeric(db, agg.Arg); err != nil {
+					return Output{}, err
+				}
+				num := ensureAgg(engine.Aggregate{Kind: engine.Sum, Col: agg.Arg})
+				den := ensureAgg(engine.Aggregate{Kind: engine.Count})
+				return Output{Kind: OutAvg, NumIndex: num, DenIndex: den}, nil
+			default:
+				return Output{}, fmt.Errorf("sqlparse: unsupported aggregate %q", agg.Func)
+			}
+		}
+		for _, o := range c.Outputs {
+			if o.Name == ref {
+				return o, nil
+			}
+		}
+		if gi, ok := groupIx[ref]; ok {
+			return Output{Kind: OutGroup, Name: ref, GroupIndex: gi}, nil
+		}
+		return Output{}, fmt.Errorf("sqlparse: unknown reference %q", ref)
+	}
+
+	for _, h := range stmt.Having {
+		out, err := resolve(h.Agg, h.Ref)
+		if err != nil {
+			return nil, err
+		}
+		if out.Kind == OutGroup {
+			return nil, fmt.Errorf("sqlparse: HAVING must reference an aggregate (use WHERE for column filters)")
+		}
+		if h.Value.IsString {
+			return nil, fmt.Errorf("sqlparse: HAVING needs a numeric literal")
+		}
+		op, err := cmpOp(h.Op)
+		if err != nil {
+			return nil, err
+		}
+		c.Having = append(c.Having, HavingFilter{Output: out, Op: op, Value: h.Value.Num})
+	}
+	for _, o := range stmt.OrderBy {
+		out, err := resolve(o.Agg, o.Ref)
+		if err != nil {
+			return nil, err
+		}
+		c.Order = append(c.Order, OrderKey{Output: out, Desc: o.Desc})
+	}
+	c.Limit = stmt.Limit
+
+	for _, cond := range stmt.Where {
+		pred, err := compileCondition(cond, db)
+		if err != nil {
+			return nil, err
+		}
+		q.Where = append(q.Where, pred)
+	}
+	return c, nil
+}
+
+func cmpOp(op string) (engine.CmpOp, error) {
+	switch op {
+	case "=":
+		return engine.Eq, nil
+	case "<>":
+		return engine.Ne, nil
+	case "<":
+		return engine.Lt, nil
+	case "<=":
+		return engine.Le, nil
+	case ">":
+		return engine.Gt, nil
+	case ">=":
+		return engine.Ge, nil
+	default:
+		return 0, fmt.Errorf("sqlparse: bad operator %q", op)
+	}
+}
+
+// numericValue evaluates a numeric output for a group.
+func numericValue(g *engine.Group, o Output) float64 {
+	switch o.Kind {
+	case OutAgg:
+		return g.Vals[o.AggIndex]
+	case OutAvg:
+		if g.Vals[o.DenIndex] == 0 {
+			return 0
+		}
+		return g.Vals[o.NumIndex] / g.Vals[o.DenIndex]
+	default:
+		return 0
+	}
+}
+
+// Present applies HAVING, ORDER BY and LIMIT to a combined result, returning
+// the groups to display in order. With no ORDER BY, groups are sorted by key
+// for determinism.
+func (c *Compiled) Present(res *engine.Result) []*engine.Group {
+	groups := res.Groups() // key-sorted
+	if len(c.Having) > 0 {
+		kept := groups[:0]
+		for _, g := range groups {
+			ok := true
+			for _, h := range c.Having {
+				v := numericValue(g, h.Output)
+				if !matchCmp(v, h.Op, h.Value) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, g)
+			}
+		}
+		groups = kept
+	}
+	if len(c.Order) > 0 {
+		sort.SliceStable(groups, func(i, j int) bool {
+			for _, k := range c.Order {
+				var less, eq bool
+				if k.Output.Kind == OutGroup {
+					a, b := groups[i].Key[k.Output.GroupIndex], groups[j].Key[k.Output.GroupIndex]
+					less, eq = a.Less(b), a == b
+				} else {
+					a, b := numericValue(groups[i], k.Output), numericValue(groups[j], k.Output)
+					less, eq = a < b, a == b
+				}
+				if eq {
+					continue
+				}
+				if k.Desc {
+					return !less
+				}
+				return less
+			}
+			return false
+		})
+	}
+	if c.Limit > 0 && len(groups) > c.Limit {
+		groups = groups[:c.Limit]
+	}
+	return groups
+}
+
+func matchCmp(v float64, op engine.CmpOp, lit float64) bool {
+	switch op {
+	case engine.Eq:
+		return v == lit
+	case engine.Ne:
+		return v != lit
+	case engine.Lt:
+		return v < lit
+	case engine.Le:
+		return v <= lit
+	case engine.Gt:
+		return v > lit
+	case engine.Ge:
+		return v >= lit
+	default:
+		return false
+	}
+}
+
+func validFrom(from string, db *engine.Database) bool {
+	return strings.EqualFold(from, db.Name) ||
+		strings.EqualFold(from, db.Fact.Name) ||
+		strings.EqualFold(from, "T")
+}
+
+func checkNumeric(db *engine.Database, col string) error {
+	t, err := db.ColumnType(col)
+	if err != nil {
+		return fmt.Errorf("sqlparse: %w", err)
+	}
+	if t == engine.String {
+		return fmt.Errorf("sqlparse: cannot aggregate string column %q", col)
+	}
+	return nil
+}
+
+func compileCondition(cond Condition, db *engine.Database) (engine.Predicate, error) {
+	switch c := cond.(type) {
+	case *InCond:
+		vals := make([]engine.Value, len(c.Values))
+		for i, lit := range c.Values {
+			v, err := coerce(lit, db, c.Column)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return engine.NewIn(c.Column, vals...), nil
+	case *BetweenCond:
+		lo, err := coerce(c.Lo, db, c.Column)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := coerce(c.Hi, db, c.Column)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewRange(c.Column, lo, hi), nil
+	case *CmpCond:
+		v, err := coerce(c.Value, db, c.Column)
+		if err != nil {
+			return nil, err
+		}
+		var op engine.CmpOp
+		switch c.Op {
+		case "=":
+			op = engine.Eq
+		case "<>":
+			op = engine.Ne
+		case "<":
+			op = engine.Lt
+		case "<=":
+			op = engine.Le
+		case ">":
+			op = engine.Gt
+		case ">=":
+			op = engine.Ge
+		default:
+			return nil, fmt.Errorf("sqlparse: bad operator %q", c.Op)
+		}
+		return engine.NewCmp(c.Column, op, v), nil
+	default:
+		return nil, fmt.Errorf("sqlparse: unknown condition type %T", cond)
+	}
+}
+
+// coerce converts a literal to the column's value type.
+func coerce(lit Literal, db *engine.Database, col string) (engine.Value, error) {
+	t, err := db.ColumnType(col)
+	if err != nil {
+		return engine.Value{}, fmt.Errorf("sqlparse: %w", err)
+	}
+	switch t {
+	case engine.String:
+		if !lit.IsString {
+			return engine.Value{}, fmt.Errorf("sqlparse: column %q is a string, got numeric literal %s", col, lit)
+		}
+		return engine.StringVal(lit.Str), nil
+	case engine.Int:
+		if lit.IsString {
+			return engine.Value{}, fmt.Errorf("sqlparse: column %q is numeric, got string literal %s", col, lit)
+		}
+		if lit.IsInt {
+			return engine.IntVal(lit.Int), nil
+		}
+		if lit.Num == math.Trunc(lit.Num) {
+			return engine.IntVal(int64(lit.Num)), nil
+		}
+		return engine.Value{}, fmt.Errorf("sqlparse: column %q is an integer, got fractional literal %s", col, lit)
+	default: // Float
+		if lit.IsString {
+			return engine.Value{}, fmt.Errorf("sqlparse: column %q is numeric, got string literal %s", col, lit)
+		}
+		return engine.FloatVal(lit.Num), nil
+	}
+}

@@ -1,0 +1,64 @@
+package sqlparse_test
+
+import (
+	"fmt"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/sqlparse"
+)
+
+// ExampleParse shows the SQL front end round-tripping a query.
+func ExampleParse() {
+	stmt, err := sqlparse.Parse(`
+		SELECT region, COUNT(*) AS cnt, AVG(amount)
+		FROM sales
+		WHERE state IN ('WA', 'OR') AND amount > 10
+		GROUP BY region
+		HAVING cnt >= 5
+		ORDER BY cnt DESC
+		LIMIT 10`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(stmt)
+	// Output:
+	// SELECT region, COUNT(*) AS cnt, AVG(amount) FROM sales WHERE state IN ('WA', 'OR') AND amount > 10 GROUP BY region HAVING cnt >= 5 ORDER BY cnt DESC LIMIT 10
+}
+
+// ExampleCompile lowers SQL onto a database and executes it exactly.
+func ExampleCompile() {
+	region := engine.NewColumn("region", engine.String)
+	amount := engine.NewColumn("amount", engine.Int)
+	fact := engine.NewTable("sales", region, amount)
+	for _, r := range []struct {
+		reg string
+		amt int64
+	}{{"west", 10}, {"west", 20}, {"east", 5}, {"east", 7}, {"north", 1}} {
+		fact.AppendRow(engine.StringVal(r.reg), engine.IntVal(r.amt))
+	}
+	db := engine.MustNewDatabase("demo", fact)
+
+	compiled, err := sqlparse.Compile(mustParse("SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY SUM(amount) DESC"), db)
+	if err != nil {
+		panic(err)
+	}
+	res, err := engine.ExecuteExact(db, compiled.Query)
+	if err != nil {
+		panic(err)
+	}
+	for _, g := range compiled.Present(res) {
+		fmt.Printf("%s %v\n", g.Key[0].S, g.Vals[0])
+	}
+	// Output:
+	// west 30
+	// east 12
+	// north 1
+}
+
+func mustParse(sql string) *sqlparse.SelectStmt {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		panic(err)
+	}
+	return stmt
+}

@@ -1,0 +1,38 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse asserts the parser is total: any input either parses into a
+// statement whose printed form re-parses to the same string, or returns an
+// error — never a panic.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a, COUNT(*) FROM T GROUP BY a",
+		"SELECT SUM(x) FROM t WHERE a IN (1,2,'x') AND b BETWEEN -1 AND 2.5 GROUP BY q",
+		"select avg(m) from sales where p >= 1e10",
+		"SELECT COUNT(*) FROM T WHERE s = 'it''s'",
+		"SELECT",
+		"'",
+		"SELECT COUNT(*) FROM T;",
+		"SELECT a FROM",
+		"\x00\xff",
+		"SELECT COUNT(*) FROM T WHERE a IN ()",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		out := stmt.String()
+		re, err := Parse(out)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %q -> %q: %v", input, out, err)
+		}
+		if re.String() != out {
+			t.Fatalf("print not a fixed point: %q -> %q -> %q", input, out, re.String())
+		}
+	})
+}

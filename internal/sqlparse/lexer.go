@@ -1,0 +1,106 @@
+// Package sqlparse provides the SQL front end of the AQP middleware: a lexer
+// and recursive-descent parser for the aggregation-query subset the paper
+// targets (SELECT with COUNT/SUM/AVG, conjunctive WHERE predicates, GROUP
+// BY), plus a compiler from the AST to engine queries. The middleware accepts
+// SQL text, compiles it, and rewrites it against sample tables exactly as the
+// thin-middleware deployments described in §2 do.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexed unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits input into tokens. Identifiers and keywords are returned as
+// tokIdent (keyword recognition happens in the parser, case-insensitively).
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_' || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			i++
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparse: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{tokSymbol, input[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, ">", i})
+				i++
+			}
+		case strings.ContainsRune("(),*=&;", rune(c)):
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}

@@ -1,0 +1,401 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.next()
+		return nil
+	}
+	return p.errorf("expected %q, got %q", sym, t.text)
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected identifier, got %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true}
+
+// reserved keywords may not be used as bare column identifiers in the select
+// list or group-by list.
+var reserved = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AND": true, "IN": true, "BETWEEN": true, "AS": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "DESC": true, "ASC": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	if p.keyword("WHERE") {
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, cond)
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if reserved[strings.ToUpper(col)] {
+				return nil, p.errorf("reserved word %q in GROUP BY", col)
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.keyword("HAVING") {
+		for {
+			h, err := p.parseHaving()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Having = append(stmt.Having, h)
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			o, err := p.parseOrderItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.OrderBy = append(stmt.OrderBy, o)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.keyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected LIMIT count, got %q", t.text)
+		}
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = int(n)
+	}
+	return stmt, nil
+}
+
+// parseRef parses an aggregate expression or a bare identifier reference.
+func (p *parser) parseRef() (*AggExpr, string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, "", p.errorf("expected aggregate or identifier, got %q", t.text)
+	}
+	upper := strings.ToUpper(t.text)
+	if aggFuncs[upper] {
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, "", err
+		}
+		agg := &AggExpr{Func: upper}
+		if p.peek().kind == tokSymbol && p.peek().text == "*" {
+			if upper != "COUNT" {
+				return nil, "", p.errorf("%s(*) is not valid", upper)
+			}
+			p.next()
+		} else {
+			arg, err := p.ident()
+			if err != nil {
+				return nil, "", err
+			}
+			agg.Arg = arg
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, "", err
+		}
+		return agg, "", nil
+	}
+	if reserved[upper] {
+		return nil, "", p.errorf("reserved word %q where reference expected", t.text)
+	}
+	ref, err := p.ident()
+	return nil, ref, err
+}
+
+func (p *parser) parseHaving() (HavingCond, error) {
+	agg, ref, err := p.parseRef()
+	if err != nil {
+		return HavingCond{}, err
+	}
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return HavingCond{}, p.errorf("expected comparison in HAVING, got %q", t.text)
+	}
+	switch t.text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		p.next()
+	default:
+		return HavingCond{}, p.errorf("expected comparison in HAVING, got %q", t.text)
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return HavingCond{}, err
+	}
+	return HavingCond{Agg: agg, Ref: ref, Op: t.text, Value: lit}, nil
+}
+
+func (p *parser) parseOrderItem() (OrderItem, error) {
+	agg, ref, err := p.parseRef()
+	if err != nil {
+		return OrderItem{}, err
+	}
+	o := OrderItem{Agg: agg, Ref: ref}
+	if p.keyword("DESC") {
+		o.Desc = true
+	} else {
+		p.keyword("ASC") // optional, ascending is the default
+	}
+	return o, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return SelectItem{}, p.errorf("expected column or aggregate, got %q", t.text)
+	}
+	upper := strings.ToUpper(t.text)
+	var item SelectItem
+	if aggFuncs[upper] {
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return SelectItem{}, err
+		}
+		agg := &AggExpr{Func: upper}
+		if p.peek().kind == tokSymbol && p.peek().text == "*" {
+			if upper != "COUNT" {
+				return SelectItem{}, p.errorf("%s(*) is not valid", upper)
+			}
+			p.next()
+		} else {
+			arg, err := p.ident()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			agg.Arg = arg
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return SelectItem{}, err
+		}
+		item.Agg = agg
+	} else {
+		if reserved[upper] {
+			return SelectItem{}, p.errorf("reserved word %q in select list", t.text)
+		}
+		col, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Column = col
+	}
+	if p.keyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *parser) parseCondition() (Condition, error) {
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if reserved[strings.ToUpper(col)] {
+		return nil, p.errorf("reserved word %q where column expected", col)
+	}
+	if p.keyword("IN") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		cond := &InCond{Column: col}
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			cond.Values = append(cond.Values, lit)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return cond, nil
+	}
+	if p.keyword("BETWEEN") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenCond{Column: col, Lo: lo, Hi: hi}, nil
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			return &CmpCond{Column: col, Op: t.text, Value: lit}, nil
+		}
+	}
+	return nil, p.errorf("expected IN, BETWEEN or comparison after %q", col)
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return Literal{IsString: true, Str: t.text}, nil
+	case tokNumber:
+		p.next()
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return Literal{IsInt: true, Int: i, Num: float64(i)}, nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, p.errorf("bad number %q", t.text)
+		}
+		return Literal{Num: f}, nil
+	default:
+		return Literal{}, p.errorf("expected literal, got %q", t.text)
+	}
+}

@@ -1,0 +1,181 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"dynsample/internal/engine"
+)
+
+func TestParseHavingOrderLimit(t *testing.T) {
+	stmt, err := Parse("SELECT region, COUNT(*) AS cnt FROM sales GROUP BY region HAVING cnt >= 10 AND SUM(price) > 2.5 ORDER BY SUM(price) DESC, region LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Having) != 2 {
+		t.Fatalf("having = %d", len(stmt.Having))
+	}
+	if stmt.Having[0].Ref != "cnt" || stmt.Having[0].Op != ">=" {
+		t.Errorf("having[0] = %+v", stmt.Having[0])
+	}
+	if stmt.Having[1].Agg == nil || stmt.Having[1].Agg.Func != "SUM" {
+		t.Errorf("having[1] = %+v", stmt.Having[1])
+	}
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("order = %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 5 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestHavingOrderLimitRoundTrip(t *testing.T) {
+	in := "SELECT region, COUNT(*) AS cnt FROM sales GROUP BY region HAVING cnt >= 10 ORDER BY COUNT(*) DESC, region LIMIT 3"
+	s1, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s1.String()
+	s2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", out, err)
+	}
+	if s2.String() != out {
+		t.Errorf("round trip unstable:\n%s\n%s", out, s2.String())
+	}
+	for _, want := range []string{"HAVING cnt >= 10", "ORDER BY COUNT(*) DESC, region", "LIMIT 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed form missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestParseOrderLimitErrors(t *testing.T) {
+	bad := []string{
+		"SELECT COUNT(*) FROM T LIMIT",
+		"SELECT COUNT(*) FROM T LIMIT 0",
+		"SELECT COUNT(*) FROM T LIMIT -3",
+		"SELECT COUNT(*) FROM T LIMIT x",
+		"SELECT COUNT(*) FROM T ORDER COUNT(*)",
+		"SELECT COUNT(*) FROM T ORDER BY",
+		"SELECT COUNT(*) FROM T GROUP BY a HAVING",
+		"SELECT COUNT(*) FROM T GROUP BY a HAVING cnt",
+		"SELECT COUNT(*) FROM T GROUP BY a HAVING cnt IN (1)",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("parse succeeded for %q", s)
+		}
+	}
+}
+
+func TestCompilePresent(t *testing.T) {
+	db := compileDB(t)
+	c, err := Compile(mustParse(t,
+		"SELECT region, COUNT(*) AS cnt FROM sales GROUP BY region HAVING cnt > 30 ORDER BY cnt DESC LIMIT 2"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.ExecuteExact(db, c.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := c.Present(res)
+	// 100 rows over 3 regions: WA=34, OR=33, CA=33. HAVING cnt>30 keeps all,
+	// ORDER BY cnt DESC LIMIT 2 keeps WA then one of OR/CA.
+	if len(groups) != 2 {
+		t.Fatalf("presented %d groups", len(groups))
+	}
+	if groups[0].Key[0].S != "WA" {
+		t.Errorf("top group = %v", groups[0].Key)
+	}
+	if groups[0].Vals[0] < groups[1].Vals[0] {
+		t.Error("not sorted descending")
+	}
+}
+
+func TestPresentHavingHiddenAggregate(t *testing.T) {
+	db := compileDB(t)
+	// HAVING on an aggregate that is not in the SELECT list.
+	c, err := Compile(mustParse(t,
+		"SELECT region, COUNT(*) FROM sales GROUP BY region HAVING SUM(price) > 2450"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Query.Aggs) != 2 {
+		t.Fatalf("hidden aggregate not added: %v", c.Query.Aggs)
+	}
+	res, _ := engine.ExecuteExact(db, c.Query)
+	groups := c.Present(res)
+	for _, g := range groups {
+		if g.Vals[1] <= 2450 {
+			t.Errorf("group %v fails HAVING: sum=%g", g.Key, g.Vals[1])
+		}
+	}
+	if len(groups) == 0 || len(groups) == res.NumGroups() {
+		t.Errorf("HAVING did not filter: %d of %d", len(groups), res.NumGroups())
+	}
+}
+
+func TestPresentOrderByGroupColumn(t *testing.T) {
+	db := compileDB(t)
+	c, err := Compile(mustParse(t, "SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY region DESC"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := engine.ExecuteExact(db, c.Query)
+	groups := c.Present(res)
+	if len(groups) != 3 || groups[0].Key[0].S != "WA" || groups[2].Key[0].S != "CA" {
+		t.Errorf("order wrong: %v %v %v", groups[0].Key, groups[1].Key, groups[2].Key)
+	}
+}
+
+func TestPresentOrderByAvg(t *testing.T) {
+	db := compileDB(t)
+	c, err := Compile(mustParse(t, "SELECT region, AVG(price) FROM sales GROUP BY region ORDER BY AVG(price)"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := engine.ExecuteExact(db, c.Query)
+	groups := c.Present(res)
+	for i := 1; i < len(groups); i++ {
+		prev := groups[i-1].Vals[c.Outputs[1].NumIndex] / groups[i-1].Vals[c.Outputs[1].DenIndex]
+		cur := groups[i].Vals[c.Outputs[1].NumIndex] / groups[i].Vals[c.Outputs[1].DenIndex]
+		if prev > cur {
+			t.Errorf("not ascending by avg: %g then %g", prev, cur)
+		}
+	}
+}
+
+func TestCompileHavingErrors(t *testing.T) {
+	db := compileDB(t)
+	bad := []string{
+		"SELECT region, COUNT(*) FROM sales GROUP BY region HAVING region > 1",      // group col
+		"SELECT region, COUNT(*) FROM sales GROUP BY region HAVING nope > 1",        // unknown ref
+		"SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) = 'x'",  // string literal
+		"SELECT region, COUNT(*) FROM sales GROUP BY region HAVING SUM(region) > 1", // string agg
+		"SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY nope",          // unknown order ref
+	}
+	for _, s := range bad {
+		stmt, err := Parse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if _, err := Compile(stmt, db); err == nil {
+			t.Errorf("compile succeeded for %q", s)
+		}
+	}
+}
+
+func TestPresentNoModifiersIsKeySorted(t *testing.T) {
+	db := compileDB(t)
+	c, err := Compile(mustParse(t, "SELECT region, COUNT(*) FROM sales GROUP BY region"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := engine.ExecuteExact(db, c.Query)
+	groups := c.Present(res)
+	if len(groups) != res.NumGroups() {
+		t.Errorf("groups dropped without HAVING/LIMIT")
+	}
+}

@@ -1,0 +1,155 @@
+// Package stats provides the statistical machinery for approximate answers:
+// running moments, normal quantiles, and the confidence intervals attached to
+// estimated groups (§4.2.2: "we also compute confidence intervals ... using
+// standard statistical methods").
+package stats
+
+import "math"
+
+// Moments accumulates count, mean and variance in one pass (Welford).
+type Moments struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (m *Moments) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int64 { return m.n }
+
+// Mean returns the sample mean (0 when empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// VarianceFromSums computes the unbiased sample variance from n, sum(x) and
+// sum(x^2), as accumulated by the query executor.
+func VarianceFromSums(n int64, sum, sumSq float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	nf := float64(n)
+	v := (sumSq - sum*sum/nf) / (nf - 1)
+	if v < 0 {
+		return 0 // float drift on near-constant data
+	}
+	return v
+}
+
+// NormalQuantile returns z such that P(Z <= z) = p for standard normal Z,
+// using the Beasley-Springer-Moro rational approximation (accurate to ~1e-9
+// over (0,1)).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	// Coefficients for the central region.
+	a := [...]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [...]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [...]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [...]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// Interval is a two-sided confidence interval around an estimate.
+type Interval struct {
+	Lo, Hi float64
+	// Level is the nominal coverage, e.g. 0.95.
+	Level float64
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Exact returns a degenerate interval at x, used for groups answered from
+// small group tables.
+func Exact(x float64) Interval { return Interval{Lo: x, Hi: x, Level: 1} }
+
+// CountCI returns a confidence interval for a scaled COUNT estimate.
+//
+// The estimator is N̂_g = w * k where k rows of an n-row uniform sample (each
+// representing w base rows) fell into the group. It uses the Agresti-Coull
+// adjusted-Wald interval for the binomial proportion k/n — which the paper
+// cites ([5]) as preferable to the exact interval — scaled to base-table
+// units by w*n.
+func CountCI(k, n int64, w float64, level float64) Interval {
+	if n == 0 {
+		return Interval{Lo: 0, Hi: 0, Level: level}
+	}
+	z := NormalQuantile(0.5 + level/2)
+	z2 := z * z
+	nAdj := float64(n) + z2
+	pAdj := (float64(k) + z2/2) / nAdj
+	half := z * math.Sqrt(pAdj*(1-pAdj)/nAdj)
+	lo := (pAdj - half) * w * float64(n)
+	hi := (pAdj + half) * w * float64(n)
+	if lo < 0 {
+		lo = 0
+	}
+	return Interval{Lo: lo, Hi: hi, Level: level}
+}
+
+// SumCI returns a confidence interval for a scaled SUM estimate.
+//
+// The estimator is Ŝ_g = w * sum where a group's k sample rows carry measure
+// values with the given sum and sum of squares, drawn from an n-row uniform
+// sample of scale factor w. The variance of the Horvitz-Thompson style
+// estimator is approximated treating per-row contributions y_i (= x_i inside
+// the group, 0 outside) as i.i.d. across the n sample rows:
+//
+//	Var(Ŝ) ≈ w² · n · s²_y,  s²_y the sample variance of y over all n rows.
+func SumCI(k, n int64, sum, sumSq, w float64, level float64) Interval {
+	if n == 0 || k == 0 {
+		return Interval{Lo: 0, Hi: 0, Level: level}
+	}
+	nf := float64(n)
+	// Moments of y over all n rows: zeros outside the group.
+	meanY := sum / nf
+	varY := sumSq/nf - meanY*meanY
+	if varY < 0 {
+		varY = 0
+	}
+	sd := w * math.Sqrt(nf*varY)
+	z := NormalQuantile(0.5 + level/2)
+	est := w * sum
+	return Interval{Lo: est - z*sd, Hi: est + z*sd, Level: level}
+}

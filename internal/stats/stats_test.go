@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dynsample/internal/randx"
+)
+
+func TestMoments(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.N() != 8 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if math.Abs(m.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", m.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(m.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %g, want %g", m.Variance(), 32.0/7)
+	}
+	if math.Abs(m.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("stddev = %g", m.StdDev())
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Variance() != 0 {
+		t.Error("empty moments not zero")
+	}
+	m.Add(3)
+	if m.Variance() != 0 {
+		t.Error("single observation variance not zero")
+	}
+}
+
+func TestVarianceFromSumsMatchesMoments(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := randx.New(seed)
+		var m Moments
+		var n int64
+		var sum, sumSq float64
+		for i := 0; i < 50; i++ {
+			x := rng.NormFloat64()*3 + 1
+			m.Add(x)
+			n++
+			sum += x
+			sumSq += x * x
+		}
+		return math.Abs(m.Variance()-VarianceFromSums(n, sum, sumSq)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceFromSumsEdges(t *testing.T) {
+	if v := VarianceFromSums(1, 5, 25); v != 0 {
+		t.Errorf("n=1 variance = %g", v)
+	}
+	// Constant data: tiny negative drift must clamp to 0.
+	if v := VarianceFromSums(3, 3, 3.0000000000000004); v < 0 {
+		t.Errorf("variance went negative: %g", v)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.95, 1.644854},
+		{0.995, 2.575829},
+		{0.841344746, 1.0},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.z) > 1e-4 {
+			t.Errorf("NormalQuantile(%g) = %g, want %g", c.p, got, c.z)
+		}
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 0.98)/2 + 0.005 // p in (0.005, 0.495]
+		return math.Abs(NormalQuantile(p)+NormalQuantile(1-p)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileOutOfRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.1} {
+		if !math.IsNaN(NormalQuantile(p)) {
+			t.Errorf("NormalQuantile(%g) should be NaN", p)
+		}
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: 2, Hi: 6, Level: 0.95}
+	if iv.Width() != 4 {
+		t.Errorf("width = %g", iv.Width())
+	}
+	if !iv.Contains(2) || !iv.Contains(6) || iv.Contains(6.1) {
+		t.Error("Contains wrong")
+	}
+	ex := Exact(7)
+	if ex.Lo != 7 || ex.Hi != 7 || ex.Level != 1 {
+		t.Errorf("Exact = %+v", ex)
+	}
+}
+
+func TestCountCICoverage(t *testing.T) {
+	// Empirical coverage: sample 1000-of-100000 uniformly; the 95% CI for a
+	// group of true size 5000 should contain 5000 about 95% of the time.
+	const (
+		N      = 100000
+		n      = 1000
+		trueK  = 5000
+		trials = 2000
+	)
+	rng := randx.New(42)
+	w := float64(N) / float64(n)
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		k := int64(0)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < float64(trueK)/N {
+				k++
+			}
+		}
+		if CountCI(k, n, w, 0.95).Contains(trueK) {
+			covered++
+		}
+	}
+	cov := float64(covered) / trials
+	if cov < 0.92 || cov > 0.99 {
+		t.Errorf("empirical coverage %.3f, want ~0.95", cov)
+	}
+}
+
+func TestCountCIEdges(t *testing.T) {
+	if iv := CountCI(0, 0, 10, 0.95); iv.Lo != 0 || iv.Hi != 0 {
+		t.Errorf("empty-sample CI = %+v", iv)
+	}
+	iv := CountCI(0, 100, 10, 0.95)
+	if iv.Lo != 0 {
+		t.Errorf("k=0 CI lower bound %g, want 0", iv.Lo)
+	}
+	if iv.Hi <= 0 {
+		t.Errorf("k=0 CI upper bound %g, want > 0", iv.Hi)
+	}
+}
+
+func TestSumCICoverage(t *testing.T) {
+	// Group with measure ~ 100 + noise; 500 of 100000 rows in the group.
+	const (
+		N      = 100000
+		n      = 2000
+		trials = 1500
+	)
+	rng := randx.New(7)
+	pGroup := 0.05
+	trueSum := float64(N) * pGroup * 100.0
+	w := float64(N) / float64(n)
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		var k int64
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			if rng.Float64() < pGroup {
+				x := 100 + rng.NormFloat64()*20
+				k++
+				sum += x
+				sumSq += x * x
+			}
+		}
+		if SumCI(k, n, sum, sumSq, w, 0.95).Contains(trueSum) {
+			covered++
+		}
+	}
+	cov := float64(covered) / trials
+	if cov < 0.91 || cov > 0.99 {
+		t.Errorf("empirical coverage %.3f, want ~0.95", cov)
+	}
+}
+
+func TestSumCIEdges(t *testing.T) {
+	if iv := SumCI(0, 100, 0, 0, 10, 0.95); iv.Lo != 0 || iv.Hi != 0 {
+		t.Errorf("k=0 CI = %+v", iv)
+	}
+	if iv := SumCI(0, 0, 0, 0, 10, 0.95); iv.Width() != 0 {
+		t.Errorf("n=0 CI = %+v", iv)
+	}
+}
+
+func TestCountCIWidthShrinksWithSampleSize(t *testing.T) {
+	wide := CountCI(10, 100, 100, 0.95)
+	narrow := CountCI(1000, 10000, 1, 0.95)
+	// Relative widths: both estimate ~10% groups; larger sample → tighter.
+	relWide := wide.Width() / (100 * 100 * 0.1)
+	relNarrow := narrow.Width() / (10000 * 0.1)
+	if relNarrow >= relWide {
+		t.Errorf("CI did not shrink: %g vs %g", relNarrow, relWide)
+	}
+}
