@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench experiments experiments-quick examples fuzz clean
+.PHONY: all check build test vet cover bench experiments experiments-quick examples fuzz clean
 
 all: build vet test
+
+# The CI gate: build + vet + full test suite under the race detector.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

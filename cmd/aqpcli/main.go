@@ -27,6 +27,7 @@ import (
 	"dynsample/internal/datagen"
 	"dynsample/internal/engine"
 	"dynsample/internal/metrics"
+	"dynsample/internal/parallel"
 	"dynsample/internal/sqlparse"
 	"dynsample/internal/uniform"
 )
@@ -35,9 +36,10 @@ func main() {
 	var (
 		dbKind   = flag.String("db", "tpch", "database: tpch or sales")
 		load     = flag.String("load", "", "load a single-table database from a CSV file instead of generating one")
-		z        = flag.Float64("z", 2.0, "Zipf skew")
-		rows     = flag.Int("rows", 200000, "fact rows")
-		rate     = flag.Float64("rate", 0.01, "base sampling rate r")
+		z        = flag.Float64("z", 2.0, "Zipf skew (>= 0)")
+		rows     = flag.Int("rows", 200000, "fact rows (>= 1)")
+		rate     = flag.Float64("rate", 0.01, "base sampling rate r, in (0, 1]")
+		workers  = flag.Int("workers", parallel.DefaultWorkers(), "worker goroutines per query and for pre-processing; 0 = serial legacy path")
 		strategy = flag.String("strategy", "smallgroup", "strategy: smallgroup or uniform")
 		seed     = flag.Int64("seed", 42, "random seed")
 		query    = flag.String("query", "", "run one query and exit")
@@ -45,6 +47,23 @@ func main() {
 		restore  = flag.String("restore", "", "load a pre-processed sample set instead of re-running pre-processing")
 	)
 	flag.Parse()
+	// Fail fast on invalid parameters — before paying for data generation.
+	if *rate <= 0 || *rate > 1 {
+		fatal(fmt.Errorf("invalid -rate %g: the base sampling rate must be in (0, 1]", *rate))
+	}
+	if *rows < 1 {
+		fatal(fmt.Errorf("invalid -rows %d: need at least 1 fact row", *rows))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("invalid -workers %d: must be >= 0", *workers))
+	}
+	if *load == "" {
+		switch *dbKind {
+		case "tpch", "sales":
+		default:
+			fatal(fmt.Errorf("invalid -db %q: must be \"tpch\" or \"sales\"", *dbKind))
+		}
+	}
 
 	var (
 		db  *engine.Database
@@ -60,8 +79,6 @@ func main() {
 			db, err = datagen.TPCH(datagen.TPCHConfig{ScaleFactor: 1, Zipf: *z, RowsPerSF: *rows, Seed: *seed})
 		case "sales":
 			db, err = datagen.Sales(datagen.SalesConfig{FactRows: *rows, Zipf: *z, Seed: *seed})
-		default:
-			err = fmt.Errorf("unknown database %q", *dbKind)
 		}
 	}
 	if err != nil {
@@ -80,12 +97,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if wc, ok := p.(core.WorkerConfigurable); ok {
+			wc.SetWorkers(*workers)
+		}
 		sys.AddPrepared("smallgroup", p)
 	} else {
 		fmt.Fprintf(os.Stderr, "pre-processing (%s, r=%g)...\n", *strategy, *rate)
 		switch *strategy {
 		case "smallgroup":
-			err = sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: *rate, Seed: *seed}))
+			err = sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: *rate, Seed: *seed, Workers: *workers}))
 		case "uniform":
 			err = sys.AddStrategy(uniform.New(uniform.Config{Label: "smallgroup", Rate: *rate, Seed: *seed})) // registered under the same key for simplicity
 		default:

@@ -1,13 +1,18 @@
 // Command aqpd serves the AQP middleware over HTTP: generate (or restore) a
 // database, run pre-processing once, then answer SQL aggregation queries
-// from the samples.
+// from the samples. The server handles concurrent /query requests; -workers
+// additionally parallelises each query's rewritten UNION ALL over
+// partitioned scans (and pre-processing itself).
 //
 // Usage:
 //
-//	aqpd -db tpch -z 2.0 -rows 200000 -rate 0.01 -addr :8080
+//	aqpd -db tpch -z 2.0 -rows 200000 -rate 0.01 -workers 8 -addr :8080
 //	curl -s localhost:8080/query -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region"}'
 //	curl -s localhost:8080/exact -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region"}'
 //	curl -s localhost:8080/columns
+//
+// Flags are validated before the database is generated, so a bad value fails
+// in milliseconds instead of after minutes of data generation.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"dynsample/internal/core"
 	"dynsample/internal/datagen"
 	"dynsample/internal/engine"
+	"dynsample/internal/parallel"
 	"dynsample/internal/server"
 )
 
@@ -27,13 +33,18 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		dbKind  = flag.String("db", "tpch", "database: tpch or sales")
-		z       = flag.Float64("z", 2.0, "Zipf skew")
-		rows    = flag.Int("rows", 200000, "fact rows")
-		rate    = flag.Float64("rate", 0.01, "base sampling rate r")
+		z       = flag.Float64("z", 2.0, "Zipf skew (>= 0)")
+		rows    = flag.Int("rows", 200000, "fact rows (>= 1)")
+		rate    = flag.Float64("rate", 0.01, "base sampling rate r, in (0, 1]")
+		workers = flag.Int("workers", parallel.DefaultWorkers(), "worker goroutines per query and for pre-processing; 1 disables parallelism (0 = serial legacy path)")
 		seed    = flag.Int64("seed", 42, "random seed")
 		restore = flag.String("restore", "", "load a pre-processed sample set (see aqpcli -save)")
 	)
 	flag.Parse()
+	// Fail fast on invalid parameters — before paying for data generation.
+	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers); err != nil {
+		fatal(err)
+	}
 
 	fmt.Fprintf(os.Stderr, "generating %s database (%d rows)...\n", *dbKind, *rows)
 	var (
@@ -45,8 +56,6 @@ func main() {
 		db, err = datagen.TPCH(datagen.TPCHConfig{ScaleFactor: 1, Zipf: *z, RowsPerSF: *rows, Seed: *seed})
 	case "sales":
 		db, err = datagen.Sales(datagen.SalesConfig{FactRows: *rows, Zipf: *z, Seed: *seed})
-	default:
-		err = fmt.Errorf("unknown database %q", *dbKind)
 	}
 	if err != nil {
 		fatal(err)
@@ -63,11 +72,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if wc, ok := p.(core.WorkerConfigurable); ok {
+			wc.SetWorkers(*workers)
+		}
 		sys.AddPrepared("smallgroup", p)
 		fmt.Fprintf(os.Stderr, "restored sample set from %s\n", *restore)
 	} else {
 		start := time.Now()
-		if err := sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: *rate, Seed: *seed})); err != nil {
+		if err := sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: *rate, Seed: *seed, Workers: *workers})); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "pre-processing done in %v\n", time.Since(start).Round(time.Millisecond))
@@ -78,10 +90,32 @@ func main() {
 		Handler:           server.New(sys, "smallgroup").Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "aqpd listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "aqpd listening on %s (%d workers)\n", *addr, *workers)
 	if err := srv.ListenAndServe(); err != nil {
 		fatal(err)
 	}
+}
+
+// validateFlags rejects out-of-range parameters with actionable messages.
+func validateFlags(dbKind string, rate float64, rows int, z float64, workers int) error {
+	switch dbKind {
+	case "tpch", "sales":
+	default:
+		return fmt.Errorf("invalid -db %q: must be \"tpch\" or \"sales\"", dbKind)
+	}
+	if rate <= 0 || rate > 1 {
+		return fmt.Errorf("invalid -rate %g: the base sampling rate must be in (0, 1]", rate)
+	}
+	if rows < 1 {
+		return fmt.Errorf("invalid -rows %d: need at least 1 fact row", rows)
+	}
+	if z < 0 {
+		return fmt.Errorf("invalid -z %g: Zipf skew must be >= 0", z)
+	}
+	if workers < 0 {
+		return fmt.Errorf("invalid -workers %d: must be >= 0", workers)
+	}
+	return nil
 }
 
 func fatal(err error) {

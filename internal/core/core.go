@@ -31,6 +31,12 @@ type Strategy interface {
 
 // Prepared answers queries approximately using the sample tables built by a
 // Strategy's pre-processing phase.
+//
+// Implementations must be safe for concurrent Answer calls: all state built
+// by pre-processing (sample tables, metadata) is immutable afterwards, and
+// Answer keeps every per-query allocation (plan, partial results, buffers)
+// on its own stack. The HTTP server relies on this to serve /query requests
+// in parallel from one shared Prepared.
 type Prepared interface {
 	// Answer runs the query against the strategy's sample tables.
 	Answer(q *engine.Query) (*Answer, error)
@@ -39,6 +45,14 @@ type Prepared interface {
 	SampleBytes() int64
 	// SampleRows returns the total number of rows across all sample tables.
 	SampleRows() int64
+}
+
+// WorkerConfigurable is implemented by Prepared states whose runtime worker
+// budget can be adjusted after construction — in particular sample sets
+// loaded from disk, whose serialised form does not store the (machine-local)
+// worker count. Call SetWorkers before serving queries.
+type WorkerConfigurable interface {
+	SetWorkers(n int)
 }
 
 // Answer is an approximate query answer: estimated (or exact) per-group

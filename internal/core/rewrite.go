@@ -34,9 +34,21 @@ func StepFor(t *engine.Table, scale float64) RewriteStep {
 
 // RewritePlan is the rewritten form of a query under dynamic sample
 // selection: the UNION ALL of its steps (§4.2.2).
+//
+// The steps are independent by construction: each reads a different sample
+// source, and the bitmask anti-double-counting filters are per-step WHERE
+// clauses baked in at plan time, not an execution-order dependency. They can
+// therefore run concurrently; only the final combination (merging partial
+// results in step order) is sequential.
 type RewritePlan struct {
 	Query *engine.Query
 	Steps []RewriteStep
+	// Workers is the worker budget for executing the plan. 0 preserves the
+	// fully serial path (steps in order, serial scans). Any value >= 1 runs
+	// the steps as parallel tasks, each with a partitioned scan
+	// (engine.ExecOptions.Workers), and merges the per-step results in step
+	// order — so answers are bit-identical for every worker count >= 1.
+	Workers int
 }
 
 // SQL renders the plan as the UNION ALL query of §4.2.2, e.g.

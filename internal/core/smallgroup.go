@@ -6,6 +6,7 @@ import (
 
 	"dynsample/internal/bitmask"
 	"dynsample/internal/engine"
+	"dynsample/internal/parallel"
 	"dynsample/internal/randx"
 	"dynsample/internal/sample"
 )
@@ -105,6 +106,15 @@ type SmallGroupConfig struct {
 	// sample tables, instead of fully flattened tables. Saves space on wide
 	// star schemas at a small runtime join cost.
 	Renormalize bool
+	// Workers is the worker budget for both phases. Pre-processing fans out
+	// the per-column frequency counters of scan 1 and the materialisation of
+	// the small group tables across Workers goroutines; at runtime the
+	// rewritten query's steps execute as parallel tasks over partitioned
+	// scans (RewritePlan.Workers). 0 preserves the fully serial paths.
+	// Outputs are identical for every value: parallel pre-processing
+	// partitions work whose results never depend on completion order, and
+	// all randomness stays in the single-threaded second scan.
+	Workers int
 	// Seed drives all randomness in pre-processing.
 	Seed int64
 }
@@ -205,11 +215,15 @@ func (s *SmallGroup) Preprocess(db *engine.Database) (Prepared, error) {
 		}
 		counters = append(counters, newColCounter(name, acc, ct, cfg.DistinctLimit))
 	}
-	for row := 0; row < n; row++ {
-		for _, c := range counters {
+	// Counters are independent (one column each, accessors are read-only), so
+	// scan 1 fans out one full-column pass per worker. Counts are identical to
+	// the serial row-major loop for any worker count.
+	parallel.ForEach(cfg.Workers, len(counters), func(i int) {
+		c := counters[i]
+		for row := 0; row < n; row++ {
 			c.observe(row)
 		}
-	}
+	})
 
 	// Derive the band assignment per surviving column; drop columns with no
 	// small groups ("It may be that a column C has no small groups, in which
@@ -236,6 +250,9 @@ func (s *SmallGroup) Preprocess(db *engine.Database) (Prepared, error) {
 
 	// ---- Scan 2: bitmask assignment, small group tables, overall sample. ----
 	rng := randx.New(cfg.Seed)
+	// maskOf is called from concurrent table builders later; band and pair
+	// testers only read their frequency structures, so it is safe as long as
+	// no tester captures mutable scratch state.
 	maskOf := func(row int) bitmask.Mask {
 		m := bitmask.New(width)
 		for i, band := range bands {
@@ -331,31 +348,40 @@ func (s *SmallGroup) Preprocess(db *engine.Database) (Prepared, error) {
 		return sampleSource{src: db.Flatten(name, rows, masks, w), name: name}, nil
 	}
 
-	for i, rows := range tableRows {
+	// Fan the per-table builds (bitmask computation + materialisation) out
+	// across workers: task i builds small group table i, the last task builds
+	// the overall sample. Every input (row lists, band testers, the base
+	// data, the renormalizer's remap) is read-only by now, and each task
+	// writes only its own slot, so the built tables are identical for any
+	// worker count.
+	buildOne := func(i int) error {
+		rows, name := overallRows, "sg_overall"
+		var w []float64 = overallWeights
+		if i < width {
+			rows, name = tableRows[i], names[i]
+			w = nil
+			if weighted[i] {
+				w = tableWeights[i]
+			}
+		}
 		masks := make([]bitmask.Mask, len(rows))
 		for j, r := range rows {
 			masks[j] = maskOf(r)
 		}
-		var w []float64
-		if weighted[i] {
-			w = tableWeights[i]
-		}
-		src, err := materialize(names[i], rows, masks, w)
+		src, err := materialize(name, rows, masks, w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		p.tables[i] = src
+		if i < width {
+			p.tables[i] = src
+		} else {
+			p.overall = src
+		}
+		return nil
 	}
-
-	masks := make([]bitmask.Mask, len(overallRows))
-	for j, r := range overallRows {
-		masks[j] = maskOf(r)
-	}
-	overall, err := materialize("sg_overall", overallRows, masks, overallWeights)
-	if err != nil {
+	if err := parallel.ForEachErr(cfg.Workers, width+1, buildOne); err != nil {
 		return nil, err
 	}
-	p.overall = overall
 	return p, nil
 }
 
@@ -453,16 +479,17 @@ func buildPairs(db *engine.Database, meta *Metadata, cfg SmallGroupConfig, bands
 
 		a0, a1, c0, c1 := acc0, acc1, common0, common1
 		rareSet := rare
-		var tbuf []byte
-		tvals := make([]engine.Value, 2)
+		// No captured buffers: the tester must be callable from concurrent
+		// mask-building workers (a per-call stack allocation is acceptable —
+		// pair tables are opt-in and rows per table are few).
 		testers = append(testers, pairTester{
 			index: index,
 			test: func(row int) bool {
 				if !c0(row) || !c1(row) {
 					return false
 				}
-				tvals[0], tvals[1] = a0.Value(row), a1.Value(row)
-				tbuf = engine.AppendKey(tbuf[:0], tvals)
+				tvals := [2]engine.Value{a0.Value(row), a1.Value(row)}
+				tbuf := engine.AppendKey(make([]byte, 0, 32), tvals[:])
 				_, ok := rareSet[engine.GroupKey(tbuf)]
 				return ok
 			},

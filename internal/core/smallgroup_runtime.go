@@ -7,6 +7,7 @@ import (
 
 	"dynsample/internal/bitmask"
 	"dynsample/internal/engine"
+	"dynsample/internal/parallel"
 	"dynsample/internal/stats"
 )
 
@@ -48,6 +49,12 @@ type smallGroupPrepared struct {
 // Meta exposes the metadata catalog (used by experiments and the CLI).
 func (p *smallGroupPrepared) Meta() *Metadata { return p.meta }
 
+// SetWorkers implements WorkerConfigurable: it sets the runtime worker
+// budget used by every subsequent Answer call (see SmallGroupConfig.Workers).
+// Call it before serving queries; it is not synchronised with concurrent
+// Answer calls.
+func (p *smallGroupPrepared) SetWorkers(n int) { p.cfg.Workers = n }
+
 // Tables exposes the flat small group tables in index order. It panics for
 // renormalized storage; use Sources then.
 func (p *smallGroupPrepared) Tables() []*engine.Table {
@@ -74,7 +81,7 @@ func (p *smallGroupPrepared) Plan(q *engine.Query) *RewritePlan {
 		sort.Slice(relevant, func(i, j int) bool { return relevant[i].Index < relevant[j].Index })
 	}
 
-	plan := &RewritePlan{Query: q}
+	plan := &RewritePlan{Query: q, Workers: p.cfg.Workers}
 	used := bitmask.New(p.meta.Width())
 	for _, ref := range relevant {
 		plan.Steps = append(plan.Steps, RewriteStep{
@@ -158,24 +165,52 @@ func (p *smallGroupPrepared) SampleBytes() int64 {
 
 // ExecutePlan runs every step of a rewrite plan and merges the partial
 // results, returning the combined result and total sample rows scanned.
+//
+// With plan.Workers >= 1 the steps — the branches of the rewritten UNION ALL
+// — execute as parallel tasks, each itself a partitioned scan, and the
+// per-step results are merged in step order on the calling goroutine. The
+// bitmask anti-double-counting semantics are unaffected: each step's Exclude
+// mask was fixed at plan time, so no step depends on another's output.
 func ExecutePlan(plan *RewritePlan) (*engine.Result, int64, error) {
-	combined := engine.NewResult(plan.Query.GroupBy, plan.Query.Aggs)
-	var rowsRead int64
-	for _, st := range plan.Steps {
+	partials := make([]*engine.Result, len(plan.Steps))
+	err := parallel.ForEachErr(planTaskWorkers(plan), len(plan.Steps), func(i int) error {
+		st := plan.Steps[i]
 		res, err := engine.Execute(st.Source, plan.Query, engine.ExecOptions{
 			Scale:       st.Scale,
 			ExcludeMask: st.Exclude,
 			MarkExact:   st.MarkExact,
+			Workers:     plan.Workers,
 		})
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
+		partials[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	combined := engine.NewResult(plan.Query.GroupBy, plan.Query.Aggs)
+	var rowsRead int64
+	for _, res := range partials {
 		rowsRead += res.RowsScanned
 		if err := combined.Merge(res); err != nil {
 			return nil, 0, err
 		}
 	}
 	return combined, rowsRead, nil
+}
+
+// planTaskWorkers maps the plan's worker budget onto its steps: 0 keeps the
+// legacy inline loop (ForEach runs inline at 1), and >= 1 lets up to Workers
+// steps run concurrently on top of their own sharded scans. Goroutines are
+// cheap and blocked shards release workers quickly, so mild oversubscription
+// (steps × scan workers) is preferable to partitioning the budget.
+func planTaskWorkers(plan *RewritePlan) int {
+	if plan.Workers <= 0 {
+		return 1
+	}
+	return plan.Workers
 }
 
 // ConfidenceIntervals derives per-group, per-aggregate intervals from the

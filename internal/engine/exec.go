@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynsample/internal/bitmask"
+	"dynsample/internal/parallel"
 )
 
 // ExecOptions modify a query execution against a sample table, implementing
@@ -20,73 +21,139 @@ type ExecOptions struct {
 	// MarkExact marks every produced group as exact (used for small group
 	// tables, which are not downsampled).
 	MarkExact bool
+	// Workers selects the scan kernel. 0 (the zero value) runs the serial
+	// single-pass kernel, unchanged from the original implementation. Any
+	// value >= 1 runs the partitioned kernel: the source is split into
+	// fixed row-range shards (ScanShardRows rows each), up to Workers
+	// goroutines scan shards concurrently, and the per-shard partial
+	// Results are merged in shard order. Because the shard boundaries and
+	// the merge order depend only on the source size — never on Workers —
+	// the partitioned kernel returns bit-identical answers for every
+	// worker count (Workers=1 and Workers=N agree exactly; they may differ
+	// from the serial kernel in the last float ulp, since float addition
+	// is not associative).
+	Workers int
 }
 
-// Execute runs a group-by aggregation query against a source. Per-row
-// weights (for weighted samples) are always honoured; uniform sources have
-// weight 1. The result's group values are sums of weight*Scale*x where x is
-// 1 for COUNT and the measure value for SUM.
-func Execute(src Source, q *Query, opt ExecOptions) (*Result, error) {
-	scale := opt.Scale
-	if scale == 0 {
-		scale = 1
-	}
+// ScanShardRows is the row-range shard size of the partitioned scan kernel.
+// It is a constant, not derived from the worker count, so that shard
+// boundaries (and therefore floating-point summation order) are a pure
+// function of the source — the determinism guarantee of ExecOptions.Workers.
+const ScanShardRows = 16384
 
-	groupAccs := make([]ColumnAccessor, len(q.GroupBy))
+// boundQuery holds a query's columns resolved against one source: group-by
+// and aggregate accessors plus predicate bindings. Accessors are read-only
+// and therefore shared freely across scan workers.
+type boundQuery struct {
+	groupAccs []ColumnAccessor
+	aggAccs   []ColumnAccessor
+	preds     []boundPred
+}
+
+type boundPred struct {
+	acc ColumnAccessor
+	p   Predicate
+}
+
+func bindQuery(src Source, q *Query) (*boundQuery, error) {
+	b := &boundQuery{
+		groupAccs: make([]ColumnAccessor, len(q.GroupBy)),
+		aggAccs:   make([]ColumnAccessor, len(q.Aggs)),
+		preds:     make([]boundPred, len(q.Where)),
+	}
 	for i, g := range q.GroupBy {
 		acc, err := src.Accessor(g)
 		if err != nil {
 			return nil, fmt.Errorf("group-by column: %w", err)
 		}
-		groupAccs[i] = acc
+		b.groupAccs[i] = acc
 	}
-
-	aggAccs := make([]ColumnAccessor, len(q.Aggs))
 	for i, a := range q.Aggs {
 		if a.Kind == Sum {
 			acc, err := src.Accessor(a.Col)
 			if err != nil {
 				return nil, fmt.Errorf("aggregate column: %w", err)
 			}
-			aggAccs[i] = acc
+			b.aggAccs[i] = acc
 		}
 	}
-
-	type boundPred struct {
-		acc ColumnAccessor
-		p   Predicate
-	}
-	preds := make([]boundPred, len(q.Where))
 	for i, p := range q.Where {
 		acc, err := src.Accessor(p.Column())
 		if err != nil {
 			return nil, fmt.Errorf("predicate column: %w", err)
 		}
-		preds[i] = boundPred{acc: acc, p: p}
+		b.preds[i] = boundPred{acc: acc, p: p}
+	}
+	return b, nil
+}
+
+// Execute runs a group-by aggregation query against a source. Per-row
+// weights (for weighted samples) are always honoured; uniform sources have
+// weight 1. The result's group values are sums of weight*Scale*x where x is
+// 1 for COUNT and the measure value for SUM.
+//
+// With opt.Workers >= 1 the scan is partitioned into row-range shards
+// evaluated concurrently (see ExecOptions.Workers); sources and predicates
+// are only read, so a single source may serve many Execute calls at once.
+func Execute(src Source, q *Query, opt ExecOptions) (*Result, error) {
+	scale := opt.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	bound, err := bindQuery(src, q)
+	if err != nil {
+		return nil, err
+	}
+	n := src.NumRows()
+	if opt.Workers <= 0 {
+		return executeRange(src, q, bound, opt, scale, 0, n), nil
 	}
 
+	shards := parallel.Shards(n, ScanShardRows)
+	if len(shards) <= 1 {
+		return executeRange(src, q, bound, opt, scale, 0, n), nil
+	}
+	partials := make([]*Result, len(shards))
+	parallel.ForEach(opt.Workers, len(shards), func(i int) {
+		partials[i] = executeRange(src, q, bound, opt, scale, shards[i].Lo, shards[i].Hi)
+	})
+	// Merge in shard order: per-group accumulation order is then a pure
+	// function of the shard boundaries, independent of the worker count.
+	res := partials[0]
+	for _, p := range partials[1:] {
+		if err := res.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// executeRange is the scan kernel: it evaluates the query over source rows
+// [lo, hi) into a fresh Result. It allocates its own key buffers, reads the
+// source and predicates but mutates nothing shared, and is therefore safe to
+// run concurrently with other ranges of the same source.
+func executeRange(src Source, q *Query, bound *boundQuery, opt ExecOptions, scale float64, lo, hi int) *Result {
 	res := NewResult(q.GroupBy, q.Aggs)
 	keyVals := make([]Value, len(q.GroupBy))
 	keyBuf := make([]byte, 0, 64)
 	filtering := opt.ExcludeMask.Width() > 0
 
-	n := src.NumRows()
 rows:
-	for row := 0; row < n; row++ {
+	for row := lo; row < hi; row++ {
 		if filtering {
 			if m, ok := src.RowMask(row); ok && m.Intersects(opt.ExcludeMask) {
 				continue
 			}
 		}
 		res.RowsScanned++
-		for _, bp := range preds {
+		for _, bp := range bound.preds {
 			if !bp.p.Matches(bp.acc.Value(row)) {
 				continue rows
 			}
 		}
 		res.RowsMatched++
 
-		for i, acc := range groupAccs {
+		for i, acc := range bound.groupAccs {
 			keyVals[i] = acc.Value(row)
 		}
 		keyBuf = AppendKey(keyBuf[:0], keyVals)
@@ -99,7 +166,7 @@ rows:
 		for i := range q.Aggs {
 			x := 1.0
 			if q.Aggs[i].Kind == Sum {
-				x = aggAccs[i].Float(row)
+				x = bound.aggAccs[i].Float(row)
 			}
 			g.Vals[i] += w * x
 			g.RawSum[i] += x
@@ -111,7 +178,7 @@ rows:
 			g.Exact = true
 		}
 	}
-	return res, nil
+	return res
 }
 
 // ExecuteExact runs a query against the base database with no sampling; the

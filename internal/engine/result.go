@@ -109,6 +109,18 @@ func (r *Result) Groups() []*Group {
 // present in both is summed; Exact is kept only if both parts are exact (a
 // group fed by both a small group table and the overall sample is estimated,
 // not exact).
+//
+// Merge is the combination step of every partitioned execution path: shard
+// partials of one scan, the UNION ALL branches of a rewrite plan, and both at
+// once. All accumulators (Vals, RawSum, RawSumSq, VarAcc, RawRows) are
+// additive, so merging is exact for COUNT and SUM, and AVG — which the
+// middleware derives as SUM/COUNT from two aggregates of the same query —
+// recombines correctly because its (sum, count) pair is merged componentwise
+// before the division happens. Merging partial results in a fixed order
+// yields bit-identical floats regardless of which goroutines produced them.
+//
+// Merge mutates r only; callers parallelising execution must merge on a
+// single goroutine (or otherwise serialise calls).
 func (r *Result) Merge(other *Result) error {
 	if len(r.Aggs) != len(other.Aggs) {
 		return fmt.Errorf("engine: merging results with %d vs %d aggregates", len(r.Aggs), len(other.Aggs))

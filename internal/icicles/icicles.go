@@ -10,6 +10,14 @@
 // unbiased. Usage counts decay on each retune, letting the sample follow a
 // drifting workload — the property that distinguishes icicles from the
 // one-shot weighted sample of internal/weighted.
+//
+// Unlike every other Prepared in this repository, an icicle mutates state
+// after pre-processing: Observe updates usage counts and Retune swaps the
+// sample table. A mutex guards that state — Answer snapshots the current
+// table under the lock and then executes lock-free — so concurrent use is
+// safe, with Observe/Retune as the serialisation points. ARCHITECTURE.md's
+// concurrency model calls this out as the one exception to the
+// immutable-after-preprocessing rule.
 package icicles
 
 import (

@@ -1,0 +1,110 @@
+// Package parallel provides the small worker-pool primitives shared by the
+// engine's partitioned scans, the middleware's rewritten-query fan-out and
+// the pre-processing phase.
+//
+// The package deliberately contains no clever scheduling: callers decide the
+// unit of work (a row-range shard, a rewrite step, a column counter) and
+// parallel runs those units on a bounded number of goroutines. Every helper
+// is deterministic in its outputs — results are always collected positionally
+// (slot i holds task i's output), so callers that combine partial results in
+// index order get answers independent of the worker count and of goroutine
+// scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default worker budget: the number of logical
+// CPUs. This is what the -workers flags of aqpd and aqpcli default to.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Normalize clamps a worker budget for n units of work. Non-positive budgets
+// mean serial (1 worker) — throughout this repository, 0 workers selects the
+// legacy serial path, and callers that want hardware parallelism pass
+// DefaultWorkers explicitly (as the -workers flags do by default). The result
+// never exceeds n: spawning more goroutines than units is pure overhead.
+func Normalize(workers, n int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+	return workers
+}
+
+// ForEach runs fn(0), ..., fn(n-1) on up to workers goroutines and returns
+// when all calls have finished. Work is handed out by an atomic counter, so
+// which goroutine runs which index is nondeterministic — fn must write its
+// output to a caller-provided slot indexed by i (never to shared state) for
+// the overall computation to stay deterministic. With workers <= 1 (or n <= 1)
+// everything runs inline on the calling goroutine, with no synchronisation.
+func ForEach(workers, n int, fn func(i int)) {
+	workers = Normalize(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible tasks. All tasks run to completion even
+// after a failure; the returned error is the one from the lowest task index
+// (a deterministic choice, independent of scheduling), or nil.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shard is a half-open row range [Lo, Hi).
+type Shard struct {
+	Lo, Hi int
+}
+
+// Shards splits n rows into ranges of at most size rows each. The boundaries
+// depend only on n and size — never on the worker count — which is what makes
+// sharded scans bit-identical across worker counts: per-shard partial results
+// are always the same, and callers merge them in shard order.
+func Shards(n, size int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = n
+	}
+	out := make([]Shard, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Shard{Lo: lo, Hi: hi})
+	}
+	return out
+}

@@ -2,6 +2,9 @@
 // the data and workload generators and by the samplers.
 //
 // Everything is seeded explicitly so experiments are reproducible run to run.
+// The returned generators wrap *rand.Rand and are not safe for concurrent
+// use — code that fans out across workers must either confine a generator to
+// one goroutine or derive one generator per worker from distinct seeds.
 // The truncated Zipf distribution here follows the paper's analytical model
 // (§4.4): "the frequency of the i-th most common value for an attribute is
 // proportional to i^-z ... except that the frequency is 0 if i > c". Unlike

@@ -3,6 +3,12 @@
 // sampling's second pass to build the overall sample in one scan, §4.2.1),
 // Bernoulli sampling (the model used in the paper's analysis, §4.4), and
 // stratified allocation helpers used by the congressional baseline.
+//
+// Samplers are deliberately not safe for concurrent use: each one owns a
+// seeded *rand.Rand, and reproducibility requires a single, fixed draw
+// order. All sampling therefore happens on the single-threaded second scan
+// of pre-processing; the parallel pre-processing paths (internal/parallel)
+// fan out only the deterministic work around it.
 package sample
 
 import (

@@ -3,6 +3,23 @@
 // middleware which re-writes queries to run against sample tables". Clients
 // POST SQL; the server compiles it, answers from the pre-built samples, and
 // returns per-group estimates with confidence intervals and exactness flags.
+//
+// # Concurrency
+//
+// The handler serves any number of /query, /exact and metadata requests in
+// parallel (net/http runs each request on its own goroutine). This is safe
+// because the server holds no mutable state: the core.System, its base
+// database and every pre-built sample table are immutable once the Server is
+// constructed, and all per-request state — the parsed statement, the rewrite
+// plan, partial and combined results, response buffers — lives on the
+// request's own goroutine. Register all strategies (System.AddStrategy /
+// AddPrepared) and set worker budgets (core.WorkerConfigurable) before
+// calling Handler; those mutate the shared state and are not synchronised.
+//
+// Each request may itself fan out: with a worker budget configured
+// (SmallGroupConfig.Workers, or the -workers flag of aqpd), one query's
+// rewritten UNION ALL steps execute as parallel partitioned scans. See
+// ARCHITECTURE.md for the full concurrency model.
 package server
 
 import (
@@ -17,13 +34,16 @@ import (
 	"dynsample/internal/sqlparse"
 )
 
-// Server routes HTTP requests to a core.System.
+// Server routes HTTP requests to a core.System. Both fields are read-only
+// after New, so one Server safely backs concurrent requests.
 type Server struct {
 	sys      *core.System
 	strategy string
 }
 
 // New returns a server answering queries with the named registered strategy.
+// The system must be fully configured before the returned server starts
+// handling requests; see the package comment for the concurrency contract.
 func New(sys *core.System, strategy string) *Server {
 	return &Server{sys: sys, strategy: strategy}
 }

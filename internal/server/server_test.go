@@ -27,7 +27,9 @@ func testServer(t *testing.T) *httptest.Server {
 	}
 	db := engine.MustNewDatabase("salesdb", fact)
 	sys := core.NewSystem(db)
-	if err := sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: 0.05, Seed: 1})); err != nil {
+	// Workers > 1 so every request exercises the parallel execution layer
+	// (step fan-out + partitioned scans) — especially under -race.
+	if err := sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: 0.05, Seed: 1, Workers: 4})); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(New(sys, "smallgroup").Handler())

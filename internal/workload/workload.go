@@ -5,6 +5,11 @@
 // selection predicates restrict a random column to a random subset of its
 // distinct values sized between 5% and 30% of them, and SUM queries aggregate
 // a randomly chosen measure column.
+//
+// Generation draws from a caller-supplied seeded generator and must stay on
+// one goroutine for reproducibility; the produced engine.Query values are
+// immutable afterwards and may be executed concurrently (the engine's scan
+// kernels only read them).
 package workload
 
 import (
