@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet cover bench experiments experiments-quick examples fuzz clean
+.PHONY: all check build test vet cover bench experiments experiments-quick examples faults fuzz clean
 
 all: build vet test
 
@@ -20,6 +20,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Fault-injection and stress tests: deterministic timeout / cancellation /
+# overload / drain / panic-recovery scenarios plus the concurrent-query
+# stress test, all under the race detector.
+faults:
+	$(GO) test -race -timeout 120s ./internal/faults
+	$(GO) test -race -timeout 120s \
+		-run 'Ctx|Cancel|Deadline|Degrade|Overload|Drain|Panic|Stuck|Robust|BadRequest|Malformed|Stress|WriteJSON|ExactParity' \
+		./internal/parallel ./internal/engine ./internal/core ./internal/server
 
 # Short mode skips the slowest end-to-end experiment tests.
 test-short:

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,7 @@ func main() {
 		strategy = flag.String("strategy", "smallgroup", "strategy: smallgroup or uniform")
 		seed     = flag.Int64("seed", 42, "random seed")
 		query    = flag.String("query", "", "run one query and exit")
+		timeout  = flag.Duration("timeout", 0, "per-query deadline; 0 disables. Queries that would overrun degrade to the overall sample, then abort with an error")
 		save     = flag.String("save", "", "write the pre-processed sample set to this file after building it")
 		restore  = flag.String("restore", "", "load a pre-processed sample set instead of re-running pre-processing")
 	)
@@ -56,6 +58,9 @@ func main() {
 	}
 	if *workers < 0 {
 		fatal(fmt.Errorf("invalid -workers %d: must be >= 0", *workers))
+	}
+	if *timeout < 0 {
+		fatal(fmt.Errorf("invalid -timeout %v: must be >= 0 (0 disables the deadline)", *timeout))
 	}
 	if *load == "" {
 		switch *dbKind {
@@ -135,7 +140,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "columns: %s\n", strings.Join(firstN(db.Columns(), 12), ", ")+", ...")
 
 	if *query != "" {
-		if err := runQuery(sys, db, *query, false, false); err != nil {
+		if err := runQuery(sys, db, *query, *timeout, false, false); err != nil {
 			fatal(err)
 		}
 		return
@@ -153,15 +158,15 @@ func main() {
 		case line == `\columns`:
 			fmt.Println(strings.Join(db.Columns(), ", "))
 		case strings.HasPrefix(line, `\explain `):
-			if err := runQuery(sys, db, strings.TrimPrefix(line, `\explain `), true, false); err != nil {
+			if err := runQuery(sys, db, strings.TrimPrefix(line, `\explain `), *timeout, true, false); err != nil {
 				fmt.Println("error:", err)
 			}
 		case strings.HasPrefix(line, `\exact `):
-			if err := runQuery(sys, db, strings.TrimPrefix(line, `\exact `), false, true); err != nil {
+			if err := runQuery(sys, db, strings.TrimPrefix(line, `\exact `), *timeout, false, true); err != nil {
 				fmt.Println("error:", err)
 			}
 		default:
-			if err := runQuery(sys, db, line, false, false); err != nil {
+			if err := runQuery(sys, db, line, *timeout, false, false); err != nil {
 				fmt.Println("error:", err)
 			}
 		}
@@ -169,7 +174,7 @@ func main() {
 	}
 }
 
-func runQuery(sys *core.System, db *engine.Database, sql string, explain, compareExact bool) error {
+func runQuery(sys *core.System, db *engine.Database, sql string, timeout time.Duration, explain, compareExact bool) error {
 	stmt, err := sqlparse.Parse(strings.TrimSuffix(sql, ";"))
 	if err != nil {
 		return err
@@ -178,7 +183,13 @@ func runQuery(sys *core.System, db *engine.Database, sql string, explain, compar
 	if err != nil {
 		return err
 	}
-	ans, err := sys.Approx("smallgroup", compiled.Query)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	ans, err := sys.ApproxCtx(ctx, "smallgroup", compiled.Query)
 	if err != nil {
 		return err
 	}
@@ -188,11 +199,15 @@ func runQuery(sys *core.System, db *engine.Database, sql string, explain, compar
 		fmt.Println()
 	}
 	printAnswer(compiled, ans)
-	fmt.Printf("(%d groups, %d sample rows read, %v)\n",
-		ans.Result.NumGroups(), ans.RowsRead, ans.Elapsed.Round(time.Microsecond))
+	degraded := ""
+	if ans.Degraded {
+		degraded = ", degraded to the overall sample to meet the deadline"
+	}
+	fmt.Printf("(%d groups, %d sample rows read, %v%s)\n",
+		ans.Result.NumGroups(), ans.RowsRead, ans.Elapsed.Round(time.Microsecond), degraded)
 
 	if compareExact {
-		exact, d, err := sys.Exact(compiled.Query)
+		exact, d, err := sys.ExactCtx(ctx, compiled.Query)
 		if err != nil {
 			return err
 		}

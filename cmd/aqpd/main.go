@@ -8,18 +8,28 @@
 //
 //	aqpd -db tpch -z 2.0 -rows 200000 -rate 0.01 -workers 8 -addr :8080
 //	curl -s localhost:8080/query -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region"}'
+//	curl -s localhost:8080/query -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region","timeout_ms":50}'
 //	curl -s localhost:8080/exact -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region"}'
 //	curl -s localhost:8080/columns
+//
+// Robustness: every query runs under a deadline (-query-timeout, overridable
+// per request via timeout_ms; missed deadlines return 504), concurrent query
+// load beyond -max-inflight is shed with 503 + Retry-After, and SIGINT or
+// SIGTERM drains in-flight requests (up to -drain-timeout) before exiting.
 //
 // Flags are validated before the database is generated, so a bad value fails
 // in milliseconds instead of after minutes of data generation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dynsample/internal/core"
@@ -31,18 +41,21 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dbKind  = flag.String("db", "tpch", "database: tpch or sales")
-		z       = flag.Float64("z", 2.0, "Zipf skew (>= 0)")
-		rows    = flag.Int("rows", 200000, "fact rows (>= 1)")
-		rate    = flag.Float64("rate", 0.01, "base sampling rate r, in (0, 1]")
-		workers = flag.Int("workers", parallel.DefaultWorkers(), "worker goroutines per query and for pre-processing; 1 disables parallelism (0 = serial legacy path)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		restore = flag.String("restore", "", "load a pre-processed sample set (see aqpcli -save)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		dbKind       = flag.String("db", "tpch", "database: tpch or sales")
+		z            = flag.Float64("z", 2.0, "Zipf skew (>= 0)")
+		rows         = flag.Int("rows", 200000, "fact rows (>= 1)")
+		rate         = flag.Float64("rate", 0.01, "base sampling rate r, in (0, 1]")
+		workers      = flag.Int("workers", parallel.DefaultWorkers(), "worker goroutines per query and for pre-processing; 1 disables parallelism (0 = serial legacy path)")
+		seed         = flag.Int64("seed", 42, "random seed")
+		restore      = flag.String("restore", "", "load a pre-processed sample set (see aqpcli -save)")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline; 0 disables (clients may override per request via timeout_ms)")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrent /query + /exact requests; excess is shed with 503 + Retry-After (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	// Fail fast on invalid parameters — before paying for data generation.
-	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers); err != nil {
+	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers, *queryTimeout, *maxInflight, *drainTimeout); err != nil {
 		fatal(err)
 	}
 
@@ -85,19 +98,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pre-processing done in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 
+	handler := server.NewWithConfig(sys, "smallgroup", server.Config{
+		DefaultTimeout: *queryTimeout,
+		MaxInflight:    *maxInflight,
+	}).Handler()
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(sys, "smallgroup").Handler(),
+		Addr:    *addr,
+		Handler: handler,
+		// Bounded at every stage so no connection can hold resources
+		// forever: header read (slowloris), full request read, response
+		// write, and keep-alive idle.
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeoutFor(*queryTimeout),
+		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Fprintf(os.Stderr, "aqpd listening on %s (%d workers)\n", *addr, *workers)
-	if err := srv.ListenAndServe(); err != nil {
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "aqpd listening on %s (%d workers, query timeout %v, max in-flight %s)\n",
+		ln.Addr(), *workers, *queryTimeout, inflightLabel(*maxInflight))
+	err = server.Serve(ctx, srv, ln, *drainTimeout)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "aqpd: signal received, draining in-flight requests...")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "aqpd: shutdown complete")
+}
+
+// writeTimeoutFor sizes the connection write timeout around the query
+// deadline: the handler's compute time counts against WriteTimeout, so it
+// must comfortably exceed the slowest admitted query.
+func writeTimeoutFor(queryTimeout time.Duration) time.Duration {
+	if queryTimeout <= 0 {
+		return 5 * time.Minute
+	}
+	return queryTimeout + 30*time.Second
+}
+
+func inflightLabel(n int) string {
+	if n <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprint(n)
 }
 
 // validateFlags rejects out-of-range parameters with actionable messages.
-func validateFlags(dbKind string, rate float64, rows int, z float64, workers int) error {
+func validateFlags(dbKind string, rate float64, rows int, z float64, workers int, queryTimeout time.Duration, maxInflight int, drainTimeout time.Duration) error {
 	switch dbKind {
 	case "tpch", "sales":
 	default:
@@ -114,6 +167,15 @@ func validateFlags(dbKind string, rate float64, rows int, z float64, workers int
 	}
 	if workers < 0 {
 		return fmt.Errorf("invalid -workers %d: must be >= 0", workers)
+	}
+	if queryTimeout < 0 {
+		return fmt.Errorf("invalid -query-timeout %v: must be >= 0 (0 disables the default deadline)", queryTimeout)
+	}
+	if maxInflight < 0 {
+		return fmt.Errorf("invalid -max-inflight %d: must be >= 0 (0 means unlimited)", maxInflight)
+	}
+	if drainTimeout < 0 {
+		return fmt.Errorf("invalid -drain-timeout %v: must be >= 0 (0 waits indefinitely)", drainTimeout)
 	}
 	return nil
 }

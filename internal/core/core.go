@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -47,6 +48,17 @@ type Prepared interface {
 	SampleRows() int64
 }
 
+// ContextAnswerer is implemented by Prepared states whose Answer honours a
+// context: cancellation or a passed deadline aborts in-flight shard scans at
+// the next shard boundary and returns ctx.Err(). Implementations may also
+// degrade gracefully under deadline pressure (see Answer.Degraded). The
+// System routes context-carrying queries through this interface when
+// available; strategies that only implement Prepared still work but run to
+// completion regardless of the context.
+type ContextAnswerer interface {
+	AnswerCtx(ctx context.Context, q *engine.Query) (*Answer, error)
+}
+
 // WorkerConfigurable is implemented by Prepared states whose runtime worker
 // budget can be adjusted after construction — in particular sample sets
 // loaded from disk, whose serialised form does not store the (machine-local)
@@ -71,6 +83,12 @@ type Answer struct {
 	// Rewrite, when non-nil, is the rewritten query plan that produced the
 	// answer, printable as the UNION ALL SQL of §4.2.2.
 	Rewrite *RewritePlan
+	// Degraded is set when deadline pressure forced the strategy to fall
+	// back to a cheaper plan (the uniform overall sample) instead of its
+	// full rewrite — dynamic sample selection applied to latency. The
+	// estimates are still unbiased but lose the small-group exactness and
+	// tightness guarantees.
+	Degraded bool
 }
 
 // Interval returns the confidence interval for a group's aggregate, or a
@@ -141,8 +159,17 @@ func (s *System) Prepared(name string) (Prepared, bool) {
 // PreprocessTime returns how long a strategy's pre-processing took.
 func (s *System) PreprocessTime(name string) time.Duration { return s.prepTime[name] }
 
-// Approx answers the query with the named strategy.
+// Approx answers the query with the named strategy. It is ApproxCtx with a
+// background context — it cannot be cancelled.
 func (s *System) Approx(strategy string, q *engine.Query) (*Answer, error) {
+	return s.ApproxCtx(context.Background(), strategy, q)
+}
+
+// ApproxCtx answers the query with the named strategy under a context. If
+// the strategy's runtime state implements ContextAnswerer, cancellation and
+// deadlines propagate into its shard scans; otherwise the query runs to
+// completion and the context is ignored.
+func (s *System) ApproxCtx(ctx context.Context, strategy string, q *engine.Query) (*Answer, error) {
 	p, ok := s.prepared[strategy]
 	if !ok {
 		return nil, fmt.Errorf("core: strategy %q not registered", strategy)
@@ -150,12 +177,23 @@ func (s *System) Approx(strategy string, q *engine.Query) (*Answer, error) {
 	if err := q.Validate(s.db); err != nil {
 		return nil, err
 	}
+	if ca, ok := p.(ContextAnswerer); ok {
+		return ca.AnswerCtx(ctx, q)
+	}
 	return p.Answer(q)
 }
 
-// Exact computes the exact answer by scanning the base data.
+// Exact computes the exact answer by scanning the base data. It is ExactCtx
+// with a background context.
 func (s *System) Exact(q *engine.Query) (*engine.Result, time.Duration, error) {
+	return s.ExactCtx(context.Background(), q)
+}
+
+// ExactCtx computes the exact answer under a context; the base-table scan
+// observes cancellation at shard boundaries. The returned duration covers
+// only the engine execution, so /exact and /query latencies are comparable.
+func (s *System) ExactCtx(ctx context.Context, q *engine.Query) (*engine.Result, time.Duration, error) {
 	start := time.Now()
-	res, err := engine.ExecuteExact(s.db, q)
+	res, err := engine.ExecuteExactCtx(ctx, s.db, q)
 	return res, time.Since(start), err
 }

@@ -19,6 +19,14 @@ const DefaultDistinctLimit = 5000
 // DefaultConfidenceLevel is the nominal coverage of reported intervals.
 const DefaultConfidenceLevel = 0.95
 
+// DefaultScanRowsPerSecond is the conservative scan-throughput estimate the
+// deadline degradation rule uses when SmallGroupConfig.ScanRowsPerSecond is
+// unset (including sample sets restored from disk, whose serialised form
+// does not carry this machine-local figure). The in-memory kernel scans
+// tens of millions of rows per second per core; erring low only makes
+// degradation slightly more eager, never an answer slower.
+const DefaultScanRowsPerSecond = 25e6
+
 // OverallBuilder selects the rows of the overall sample. The default is a
 // uniform reservoir sample, but §4.2.1 notes the overall sample is pluggable:
 // "it is also possible to use a non-uniform sampling technique ... for
@@ -117,6 +125,12 @@ type SmallGroupConfig struct {
 	Workers int
 	// Seed drives all randomness in pre-processing.
 	Seed int64
+	// ScanRowsPerSecond estimates runtime scan throughput for the deadline
+	// degradation rule (AnswerCtx): a plan whose total sample rows exceed
+	// remaining-budget × ScanRowsPerSecond falls back to the overall sample.
+	// Zero means DefaultScanRowsPerSecond. Tests set it very low (force
+	// degradation) or very high (forbid it) to make the rule deterministic.
+	ScanRowsPerSecond float64
 }
 
 func (c SmallGroupConfig) withDefaults() SmallGroupConfig {

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
 
 	"dynsample/internal/bitmask"
 	"dynsample/internal/engine"
+	"dynsample/internal/faults"
 	"dynsample/internal/parallel"
 	"dynsample/internal/stats"
 )
@@ -114,11 +116,20 @@ func (p *smallGroupPrepared) usedTables(plan *RewritePlan) map[int]bool {
 	return used
 }
 
-// Answer implements Prepared.
+// Answer implements Prepared. It is AnswerCtx with a background context.
 func (p *smallGroupPrepared) Answer(q *engine.Query) (*Answer, error) {
+	return p.AnswerCtx(context.Background(), q)
+}
+
+// AnswerCtx implements ContextAnswerer. Cancellation propagates into every
+// step's sharded scan; when ctx also carries a deadline, the plan is first
+// checked against the remaining budget (see degradeForDeadline) and may be
+// swapped for the cheaper overall-sample-only plan, flagged Answer.Degraded.
+func (p *smallGroupPrepared) AnswerCtx(ctx context.Context, q *engine.Query) (*Answer, error) {
 	start := time.Now()
 	plan := p.Plan(q)
-	combined, rowsRead, err := ExecutePlan(plan)
+	plan, degraded := p.degradeForDeadline(ctx, q, plan)
+	combined, rowsRead, err := ExecutePlanCtx(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -137,8 +148,55 @@ func (p *smallGroupPrepared) Answer(q *engine.Query) (*Answer, error) {
 		RowsRead:  rowsRead,
 		Elapsed:   time.Since(start),
 		Rewrite:   plan,
+		Degraded:  degraded,
 	}
 	return ans, nil
+}
+
+// degradeForDeadline applies graceful degradation under deadline pressure:
+// when ctx carries a deadline and the plan's total sample-table rows —
+// known exactly from the metadata, no scanning needed — would take longer
+// to scan than the remaining budget (at the configured ScanRowsPerSecond
+// estimate), it returns the overall-sample-only plan instead. That plan
+// reads the fewest rows any estimate can (it is plain uniform sampling,
+// §4.1's first baseline), so it is the best answer producible in the time
+// left; groups lose small-group exactness but keep unbiased estimates and
+// confidence intervals. This is dynamic sample selection applied to
+// latency: the per-query choice of sample tables shrinks as the budget
+// does. Without a deadline the plan is returned unchanged.
+func (p *smallGroupPrepared) degradeForDeadline(ctx context.Context, q *engine.Query, plan *RewritePlan) (*RewritePlan, bool) {
+	dl, ok := ctx.Deadline()
+	if !ok || len(plan.Steps) <= 1 {
+		return plan, false
+	}
+	rate := p.cfg.ScanRowsPerSecond
+	if rate <= 0 {
+		rate = DefaultScanRowsPerSecond
+	}
+	budgetRows := time.Until(dl).Seconds() * rate
+	if float64(planRows(plan)) <= budgetRows {
+		return plan, false
+	}
+	return &RewritePlan{
+		Query:   q,
+		Workers: plan.Workers,
+		Steps: []RewriteStep{{
+			Source: p.overall.src,
+			Name:   p.overall.name,
+			Scale:  p.overallScale,
+		}},
+	}, true
+}
+
+// planRows is the total number of sample rows a plan scans, before
+// predicate or bitmask filtering (the upper bound the degradation rule
+// budgets against).
+func planRows(plan *RewritePlan) int64 {
+	var n int64
+	for _, st := range plan.Steps {
+		n += int64(st.Source.NumRows())
+	}
+	return n
 }
 
 // SampleRows implements Prepared.
@@ -164,18 +222,30 @@ func (p *smallGroupPrepared) SampleBytes() int64 {
 }
 
 // ExecutePlan runs every step of a rewrite plan and merges the partial
-// results, returning the combined result and total sample rows scanned.
+// results, returning the combined result and total sample rows scanned. It
+// is ExecutePlanCtx with a background context.
+func ExecutePlan(plan *RewritePlan) (*engine.Result, int64, error) {
+	return ExecutePlanCtx(context.Background(), plan)
+}
+
+// ExecutePlanCtx runs a rewrite plan under a context.
 //
 // With plan.Workers >= 1 the steps — the branches of the rewritten UNION ALL
 // — execute as parallel tasks, each itself a partitioned scan, and the
 // per-step results are merged in step order on the calling goroutine. The
 // bitmask anti-double-counting semantics are unaffected: each step's Exclude
 // mask was fixed at plan time, so no step depends on another's output.
-func ExecutePlan(plan *RewritePlan) (*engine.Result, int64, error) {
+//
+// Cancellation propagates to every step's sharded scan: once ctx is done,
+// no new shard starts and ExecutePlanCtx returns ctx.Err(). A panic inside
+// a step (only ever seen with fault injection) is contained by the worker
+// pool and surfaces as an error, not a process crash.
+func ExecutePlanCtx(ctx context.Context, plan *RewritePlan) (*engine.Result, int64, error) {
 	partials := make([]*engine.Result, len(plan.Steps))
-	err := parallel.ForEachErr(planTaskWorkers(plan), len(plan.Steps), func(i int) error {
+	err := parallel.ForEachCtx(ctx, planTaskWorkers(plan), len(plan.Steps), func(i int) error {
+		faults.Fire(ctx, faults.PointPlanStep, i)
 		st := plan.Steps[i]
-		res, err := engine.Execute(st.Source, plan.Query, engine.ExecOptions{
+		res, err := engine.ExecuteCtx(ctx, st.Source, plan.Query, engine.ExecOptions{
 			Scale:       st.Scale,
 			ExcludeMask: st.Exclude,
 			MarkExact:   st.MarkExact,

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dynsample/internal/faults"
+)
+
+// TestExecuteCtxBackgroundBitIdentical: an uncancelled ExecuteCtx must agree
+// exactly with Execute for serial, single-worker and multi-worker scans.
+func TestExecuteCtxBackgroundBitIdentical(t *testing.T) {
+	tbl := randomScanTable(11, 3*ScanShardRows+123)
+	q := scanQuery()
+	for _, workers := range []int{0, 1, 4} {
+		opt := ExecOptions{Scale: 2.5, Workers: workers}
+		want, err := Execute(tbl, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ExecuteCtx(context.Background(), tbl, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsBitIdentical(t, want, got)
+	}
+}
+
+// TestExecuteCtxSerialMatchesParallelAcrossWorkers: the ctx-aware serial
+// kernel (chunked per shard) must still accumulate in pure row order, and
+// every worker count >= 1 must agree bit-for-bit.
+func TestExecuteCtxSerialMatchesAcrossWorkers(t *testing.T) {
+	tbl := randomScanTable(7, 2*ScanShardRows+57)
+	q := scanQuery()
+	w1, err := ExecuteCtx(context.Background(), tbl, q, ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		wn, err := ExecuteCtx(context.Background(), tbl, q, ExecOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsBitIdentical(t, w1, wn)
+	}
+}
+
+// TestExecuteCtxCancelled: an already-cancelled context aborts before any
+// row is scanned.
+func TestExecuteCtxCancelled(t *testing.T) {
+	tbl := randomScanTable(3, ScanShardRows+10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{0, 4} {
+		if _, err := ExecuteCtx(ctx, tbl, scanQuery(), ExecOptions{Workers: workers}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestExecuteCtxDeadlineAbortsSlowScan: with a fault-injected slow shard, a
+// deadline much shorter than the injected delays aborts the scan at a shard
+// boundary, long before the full scan could have completed.
+func TestExecuteCtxDeadlineAbortsSlowScan(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	tbl := randomScanTable(5, 4*ScanShardRows) // 4 shards
+	const perShard = 250 * time.Millisecond    // full scan would stall >= 1s
+	faults.Set(faults.PointScanShard, faults.SleepHook(perShard))
+
+	for _, workers := range []int{0, 1, 2} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		start := time.Now()
+		_, err := ExecuteCtx(ctx, tbl, scanQuery(), ExecOptions{Workers: workers})
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("workers=%d: err = %v, want context.DeadlineExceeded", workers, err)
+		}
+		// All four shards stalled serially would take >= 4*perShard; prompt
+		// cancellation must come back after roughly one shard's stall.
+		if elapsed > 2*perShard {
+			t.Fatalf("workers=%d: cancellation took %v, want well under %v", workers, elapsed, 4*perShard)
+		}
+	}
+}
+
+// TestExecuteExactCtxCancelled: the exact path observes cancellation too.
+func TestExecuteExactCtxCancelled(t *testing.T) {
+	tbl := randomScanTable(9, ScanShardRows*2)
+	tbl.Masks, tbl.Weights = nil, nil
+	db := MustNewDatabase("d", tbl)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteExactCtx(ctx, db, scanQuery()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

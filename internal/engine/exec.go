@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"dynsample/internal/bitmask"
+	"dynsample/internal/faults"
 	"dynsample/internal/parallel"
 )
 
@@ -95,7 +97,20 @@ func bindQuery(src Source, q *Query) (*boundQuery, error) {
 // With opt.Workers >= 1 the scan is partitioned into row-range shards
 // evaluated concurrently (see ExecOptions.Workers); sources and predicates
 // are only read, so a single source may serve many Execute calls at once.
+//
+// Execute is ExecuteCtx with a background context — it cannot be cancelled.
 func Execute(src Source, q *Query, opt ExecOptions) (*Result, error) {
+	return ExecuteCtx(context.Background(), src, q, opt)
+}
+
+// ExecuteCtx is Execute under a context. Cancellation is observed at shard
+// boundaries — between ScanShardRows-row chunks on the serial path, between
+// shard tasks on the partitioned path — never inside a shard, so an
+// uncancelled ExecuteCtx returns answers bit-identical to Execute for every
+// worker count. When ctx is cancelled or its deadline passes mid-scan,
+// ExecuteCtx returns ctx.Err() promptly (in-flight shards finish first) and
+// no partial result.
+func ExecuteCtx(ctx context.Context, src Source, q *Query, opt ExecOptions) (*Result, error) {
 	scale := opt.Scale
 	if scale == 0 {
 		scale = 1
@@ -105,18 +120,34 @@ func Execute(src Source, q *Query, opt ExecOptions) (*Result, error) {
 		return nil, err
 	}
 	n := src.NumRows()
-	if opt.Workers <= 0 {
-		return executeRange(src, q, bound, opt, scale, 0, n), nil
+	shards := parallel.Shards(n, ScanShardRows)
+	if opt.Workers <= 0 || len(shards) <= 1 {
+		// Serial kernel: one Result accumulated in row order, scanned
+		// chunk-by-chunk so long scans still observe cancellation. The
+		// accumulation order is identical to a single [0, n) pass.
+		res := NewResult(q.GroupBy, q.Aggs)
+		for i, sh := range shards {
+			faults.Fire(ctx, faults.PointScanShard, i)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			scanRange(res, src, q, bound, opt, scale, sh.Lo, sh.Hi)
+		}
+		return res, nil
 	}
 
-	shards := parallel.Shards(n, ScanShardRows)
-	if len(shards) <= 1 {
-		return executeRange(src, q, bound, opt, scale, 0, n), nil
-	}
 	partials := make([]*Result, len(shards))
-	parallel.ForEach(opt.Workers, len(shards), func(i int) {
+	err = parallel.ForEachCtx(ctx, opt.Workers, len(shards), func(i int) error {
+		faults.Fire(ctx, faults.PointScanShard, i)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		partials[i] = executeRange(src, q, bound, opt, scale, shards[i].Lo, shards[i].Hi)
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Merge in shard order: per-group accumulation order is then a pure
 	// function of the shard boundaries, independent of the worker count.
 	res := partials[0]
@@ -134,6 +165,13 @@ func Execute(src Source, q *Query, opt ExecOptions) (*Result, error) {
 // run concurrently with other ranges of the same source.
 func executeRange(src Source, q *Query, bound *boundQuery, opt ExecOptions, scale float64, lo, hi int) *Result {
 	res := NewResult(q.GroupBy, q.Aggs)
+	scanRange(res, src, q, bound, opt, scale, lo, hi)
+	return res
+}
+
+// scanRange evaluates source rows [lo, hi) into res, which must have been
+// built for the same query shape.
+func scanRange(res *Result, src Source, q *Query, bound *boundQuery, opt ExecOptions, scale float64, lo, hi int) {
 	keyVals := make([]Value, len(q.GroupBy))
 	keyBuf := make([]byte, 0, 64)
 	filtering := opt.ExcludeMask.Width() > 0
@@ -178,16 +216,22 @@ rows:
 			g.Exact = true
 		}
 	}
-	return res
 }
 
 // ExecuteExact runs a query against the base database with no sampling; the
-// ground truth for accuracy experiments.
+// ground truth for accuracy experiments. It is ExecuteExactCtx with a
+// background context.
 func ExecuteExact(db *Database, q *Query) (*Result, error) {
+	return ExecuteExactCtx(context.Background(), db, q)
+}
+
+// ExecuteExactCtx is ExecuteExact under a context; see ExecuteCtx for the
+// cancellation granularity.
+func ExecuteExactCtx(ctx context.Context, db *Database, q *Query) (*Result, error) {
 	if err := q.Validate(db); err != nil {
 		return nil, err
 	}
-	res, err := Execute(db, q, ExecOptions{})
+	res, err := ExecuteCtx(ctx, db, q, ExecOptions{})
 	if err != nil {
 		return nil, err
 	}

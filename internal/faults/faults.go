@@ -1,0 +1,117 @@
+// Package faults provides deterministic fault injection for robustness
+// tests: slow shards, panicking rewrite steps, stuck workers. Production
+// code calls Fire at a few fixed hook points; with no hooks registered the
+// call is a single atomic load and returns immediately, so the hooks cost
+// nothing outside tests.
+//
+// The registry is global (hook points are reached from deep inside the
+// engine, far from any test-owned value), so tests that register hooks must
+// not run in parallel with each other and must call Reset when done:
+//
+//	faults.Set(faults.PointScanShard, faults.SleepHook(time.Second))
+//	t.Cleanup(faults.Reset)
+package faults
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names a fault-injection hook site.
+type Point string
+
+const (
+	// PointScanShard fires in the engine before each row-range shard of a
+	// scan — on the scanning goroutine, so a blocking hook simulates a slow
+	// or stuck shard worker.
+	PointScanShard Point = "engine.scan-shard"
+	// PointPlanStep fires in the middleware before each rewrite-plan step
+	// (one branch of the rewritten UNION ALL).
+	PointPlanStep Point = "core.plan-step"
+	// PointHandler fires at the start of the HTTP /query handler, on the
+	// request goroutine — a panicking hook exercises the server's
+	// panic-recovery middleware.
+	PointHandler Point = "server.handler"
+)
+
+// Hook is an injected fault. ctx is the execution context of the hook site
+// (cancellable by the request deadline); i identifies the unit of work —
+// the shard or step index, 0 where there is no natural index. Hooks may
+// sleep, block, or panic; they must respect ctx to avoid leaking goroutines
+// past a cancelled request.
+type Hook func(ctx context.Context, i int)
+
+var (
+	active atomic.Bool
+	mu     sync.Mutex
+	hooks  map[Point]Hook
+)
+
+// Active reports whether any hook is registered. Hook sites use it (via
+// Fire) as the fast path; it is safe to call from any goroutine.
+func Active() bool { return active.Load() }
+
+// Set registers the hook for a point, replacing any previous one.
+func Set(p Point, h Hook) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks == nil {
+		hooks = make(map[Point]Hook)
+	}
+	hooks[p] = h
+	active.Store(true)
+}
+
+// Reset removes every registered hook, returning Fire to its no-op fast
+// path. Call it from t.Cleanup in every test that uses Set.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = nil
+	active.Store(false)
+}
+
+// Fire runs the hook registered for p, if any. With no hooks registered
+// (the production state) it is a single atomic load.
+func Fire(ctx context.Context, p Point, i int) {
+	if !active.Load() {
+		return
+	}
+	mu.Lock()
+	h := hooks[p]
+	mu.Unlock()
+	if h != nil {
+		h(ctx, i)
+	}
+}
+
+// SleepHook returns a hook that sleeps for d or until ctx is cancelled,
+// whichever comes first — a deterministic "slow shard".
+func SleepHook(d time.Duration) Hook {
+	return func(ctx context.Context, _ int) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+}
+
+// PanicHook returns a hook that panics with v.
+func PanicHook(v any) Hook {
+	return func(context.Context, int) { panic(v) }
+}
+
+// BlockHook returns a hook that blocks until release is closed or ctx is
+// cancelled — a "stuck worker" that tests can unstick on demand.
+func BlockHook(release <-chan struct{}) Hook {
+	return func(ctx context.Context, _ int) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+}

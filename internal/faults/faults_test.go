@@ -1,0 +1,76 @@
+package faults
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestFireNoHookIsNoop(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("Active() = true with no hooks")
+	}
+	Fire(context.Background(), PointScanShard, 0) // must not panic or block
+}
+
+func TestSetFireReset(t *testing.T) {
+	t.Cleanup(Reset)
+	var got []int
+	Set(PointPlanStep, func(_ context.Context, i int) { got = append(got, i) })
+	if !Active() {
+		t.Fatal("Active() = false after Set")
+	}
+	Fire(context.Background(), PointPlanStep, 3)
+	Fire(context.Background(), PointScanShard, 7) // different point: no hook
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("hook saw %v, want [3]", got)
+	}
+	Reset()
+	Fire(context.Background(), PointPlanStep, 4)
+	if len(got) != 1 {
+		t.Fatalf("hook fired after Reset: %v", got)
+	}
+}
+
+func TestSleepHookRespectsContext(t *testing.T) {
+	t.Cleanup(Reset)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	SleepHook(10 * time.Second)(ctx, 0)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("SleepHook ignored cancelled context (slept %v)", d)
+	}
+}
+
+func TestBlockHookRelease(t *testing.T) {
+	t.Cleanup(Reset)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		BlockHook(release)(context.Background(), 0)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("BlockHook returned before release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("BlockHook did not return after release")
+	}
+}
+
+func TestPanicHook(t *testing.T) {
+	t.Cleanup(Reset)
+	defer func() {
+		if v := recover(); v != "boom" {
+			t.Fatalf("recovered %v, want boom", v)
+		}
+	}()
+	PanicHook("boom")(context.Background(), 0)
+}

@@ -12,6 +12,8 @@
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -74,6 +76,72 @@ func ForEach(workers, n int, fn func(i int)) {
 func ForEachErr(workers, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachCtx is the cancellable form of ForEachErr: it runs fn(0), ...,
+// fn(n-1) on up to workers goroutines, but stops handing out new tasks once
+// ctx is done. Tasks already started always run to completion — cancellation
+// is observed between tasks, never inside one — so a caller whose context
+// stays live gets exactly the ForEachErr behaviour and bit-identical outputs.
+//
+// The returned error is ctx.Err() if the context was cancelled before all n
+// tasks completed; otherwise the error from the lowest task index (the same
+// deterministic choice as ForEachErr), or nil. A panicking task does not
+// crash the process: the panic is recovered on the worker goroutine and
+// reported as that task's error.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	errs := make([]error, n)
+	var started atomic.Int64
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = fmt.Errorf("parallel: task %d panicked: %v", i, v)
+			}
+		}()
+		errs[i] = fn(i)
+	}
+
+	workers = Normalize(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			started.Add(1)
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					started.Add(1)
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	if err := ctx.Err(); err != nil && int(started.Load()) < n {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs srv on ln until ctx is cancelled, then shuts down gracefully:
+// the listener closes immediately (no new connections) while in-flight
+// requests get up to drain to finish (http.Server.Shutdown). It returns nil
+// after a clean drain, ctx's cause if the drain timed out, or the serve
+// error if the server failed before ctx was cancelled.
+//
+// Requests keep their own contexts during the drain — a SIGTERM must not
+// cancel work the server is about to finish — so the per-request deadlines
+// of Config.DefaultTimeout/timeout_ms are what bound the drain in practice,
+// with the drain budget as the backstop.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drain)
+		defer cancel()
+	}
+	err := srv.Shutdown(sctx)
+	// Serve returns ErrServerClosed once Shutdown begins; collect it so the
+	// goroutine never leaks, and surface any other error.
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}

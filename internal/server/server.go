@@ -20,32 +20,75 @@
 // (SmallGroupConfig.Workers, or the -workers flag of aqpd), one query's
 // rewritten UNION ALL steps execute as parallel partitioned scans. See
 // ARCHITECTURE.md for the full concurrency model.
+//
+// # Deadlines and overload
+//
+// Every /query and /exact runs under a context derived from the request: a
+// client disconnect, the server's Config.DefaultTimeout, or the request's
+// own timeout_ms field cancels in-flight shard scans at the next shard
+// boundary. A missed deadline returns 504 with a structured error; under
+// deadline pressure the small-group strategy may instead degrade to the
+// cheap uniform overall sample and flag "degraded": true. When
+// Config.MaxInflight is set, excess concurrent queries are shed immediately
+// with 503 + Retry-After rather than queueing unboundedly, and a panicking
+// handler is recovered to a 500 without killing the process. See
+// ARCHITECTURE.md §6.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"dynsample/internal/core"
 	"dynsample/internal/engine"
+	"dynsample/internal/faults"
 	"dynsample/internal/sqlparse"
 )
 
-// Server routes HTTP requests to a core.System. Both fields are read-only
-// after New, so one Server safely backs concurrent requests.
+// Config tunes the server's robustness behaviour. The zero value preserves
+// the permissive defaults: no deadline, no admission limit.
+type Config struct {
+	// DefaultTimeout bounds each /query and /exact unless the request
+	// carries its own timeout_ms. Zero means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxInflight caps concurrently executing /query + /exact requests;
+	// excess requests are shed with 503 and a Retry-After header instead of
+	// queueing. Zero means unlimited.
+	MaxInflight int
+	// RetryAfter is the Retry-After hint on shed requests; zero means 1s.
+	RetryAfter time.Duration
+}
+
+// Server routes HTTP requests to a core.System. All fields are read-only
+// after construction, so one Server safely backs concurrent requests.
 type Server struct {
 	sys      *core.System
 	strategy string
+	cfg      Config
+	inflight chan struct{} // admission semaphore; nil = unlimited
 }
 
-// New returns a server answering queries with the named registered strategy.
-// The system must be fully configured before the returned server starts
-// handling requests; see the package comment for the concurrency contract.
+// New returns a server answering queries with the named registered strategy,
+// with the zero Config. The system must be fully configured before the
+// returned server starts handling requests; see the package comment for the
+// concurrency contract.
 func New(sys *core.System, strategy string) *Server {
-	return &Server{sys: sys, strategy: strategy}
+	return NewWithConfig(sys, strategy, Config{})
+}
+
+// NewWithConfig is New with explicit deadline and admission settings.
+func NewWithConfig(sys *core.System, strategy string, cfg Config) *Server {
+	s := &Server{sys: sys, strategy: strategy, cfg: cfg}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
 }
 
 // QueryRequest is the body of POST /query and POST /exact.
@@ -53,6 +96,9 @@ type QueryRequest struct {
 	SQL string `json:"sql"`
 	// Explain additionally returns the rewritten UNION ALL sample query.
 	Explain bool `json:"explain,omitempty"`
+	// TimeoutMS, when positive, overrides the server's default per-request
+	// deadline for this query. A missed deadline returns 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // GroupJSON is one group of an answer.
@@ -71,30 +117,93 @@ type QueryResponse struct {
 	RowsRead  int64       `json:"rowsRead,omitempty"`
 	ElapsedUS int64       `json:"elapsedMicros"`
 	Rewrite   string      `json:"rewrite,omitempty"`
+	// Degraded is set when deadline pressure made the strategy fall back to
+	// the uniform overall sample instead of its full rewrite.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
-// ErrorResponse is returned with non-2xx statuses.
+// ErrorResponse is returned with non-2xx statuses. Code is a stable
+// machine-readable discriminator (e.g. "deadline_exceeded", "overloaded");
+// Error is human-readable detail.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
-// Handler returns the HTTP routes.
+// Error codes used in ErrorResponse.Code.
+const (
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeOverloaded       = "overloaded"
+	CodeInternal         = "internal"
+)
+
+// Handler returns the HTTP routes, wrapped in the panic-recovery middleware;
+// /query and /exact additionally pass through admission control.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /exact", s.handleExact)
+	mux.HandleFunc("POST /query", s.admit(s.handleQuery))
+	mux.HandleFunc("POST /exact", s.admit(s.handleExact))
 	mux.HandleFunc("GET /columns", s.handleColumns)
 	mux.HandleFunc("GET /strategies", s.handleStrategies)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
-	return mux
+	return recoverPanics(mux)
+}
+
+// recoverPanics converts a panic on the request goroutine into a 500 so one
+// poisoned request cannot take down the process. If the handler had already
+// written a response prefix the error body is appended to it — the client
+// sees a malformed payload, which is the best that can be done post-commit.
+func recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				writeErrCode(w, http.StatusInternalServerError, CodeInternal,
+					fmt.Errorf("internal error: recovered panic: %v", v))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// admit applies the MaxInflight admission semaphore: requests beyond the cap
+// are shed immediately with 503 + Retry-After (load shedding beats unbounded
+// queueing — queued requests would miss their deadlines anyway and drag down
+// admitted ones). With no cap configured it is the identity.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	if s.inflight == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			h(w, r)
+		default:
+			retry := s.cfg.RetryAfter
+			if retry <= 0 {
+				retry = time.Second
+			}
+			secs := int(retry.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeErrCode(w, http.StatusServiceUnavailable, CodeOverloaded,
+				fmt.Errorf("server at max in-flight queries (%d); retry after %ds", s.cfg.MaxInflight, secs))
+		}
+	}
 }
 
 func (s *Server) compile(w http.ResponseWriter, r *http.Request) (*sqlparse.Compiled, *QueryRequest, bool) {
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return nil, nil, false
+	}
+	if req.TimeoutMS < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid timeout_ms %d: must be >= 0", req.TimeoutMS))
 		return nil, nil, false
 	}
 	if strings.TrimSpace(req.SQL) == "" {
@@ -114,20 +223,53 @@ func (s *Server) compile(w http.ResponseWriter, r *http.Request) (*sqlparse.Comp
 	return compiled, &req, true
 }
 
+// queryContext derives the execution context for one request: the request's
+// own context (cancelled when the client disconnects) bounded by timeout_ms
+// if given, else by the server default.
+func (s *Server) queryContext(r *http.Request, req *QueryRequest) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// writeExecErr maps an execution error to a status: 504 for a missed
+// deadline, nothing at all for a vanished client (the connection is gone;
+// any body would be discarded), 500 otherwise.
+func writeExecErr(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErrCode(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+			fmt.Errorf("query deadline exceeded: %w", err))
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		// Client went away; nothing useful to write.
+	default:
+		writeErrCode(w, http.StatusInternalServerError, CodeInternal, err)
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	faults.Fire(r.Context(), faults.PointHandler, 0)
 	compiled, req, ok := s.compile(w, r)
 	if !ok {
 		return
 	}
-	ans, err := s.sys.Approx(s.strategy, compiled.Query)
+	ctx, cancel := s.queryContext(r, req)
+	defer cancel()
+	ans, err := s.sys.ApproxCtx(ctx, s.strategy, compiled.Query)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeExecErr(w, r, err)
 		return
 	}
 	resp := QueryResponse{
 		Columns:   outputNames(compiled),
 		RowsRead:  ans.RowsRead,
 		ElapsedUS: ans.Elapsed.Microseconds(),
+		Degraded:  ans.Degraded,
 	}
 	if req.Explain && ans.Rewrite != nil {
 		resp.Rewrite = ans.Rewrite.SQL()
@@ -159,19 +301,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
-	compiled, _, ok := s.compile(w, r)
+	compiled, req, ok := s.compile(w, r)
 	if !ok {
 		return
 	}
-	start := time.Now()
-	res, _, err := s.sys.Exact(compiled.Query)
+	ctx, cancel := s.queryContext(r, req)
+	defer cancel()
+	res, elapsed, err := s.sys.ExactCtx(ctx, compiled.Query)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeExecErr(w, r, err)
 		return
 	}
+	// Mirror /query: RowsRead from the engine result and elapsed measured
+	// around engine execution only, so the two endpoints' numbers are
+	// directly comparable in speedup tables.
 	resp := QueryResponse{
 		Columns:   outputNames(compiled),
-		ElapsedUS: time.Since(start).Microseconds(),
+		RowsRead:  res.RowsScanned,
+		ElapsedUS: elapsed.Microseconds(),
 	}
 	for _, g := range compiled.Present(res) {
 		gj := GroupJSON{Exact: true}
@@ -215,15 +362,25 @@ func outputNames(c *sqlparse.Compiled) []string {
 	return names
 }
 
+// writeJSON encodes v fully before touching the ResponseWriter, so an encode
+// failure yields a clean 500 instead of a half-written 200 body with error
+// text appended.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeErrCode(w, http.StatusInternalServerError, CodeInternal, err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
+	writeErrCode(w, code, "", err)
+}
+
+func writeErrCode(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Code: code})
 }

@@ -13,7 +13,9 @@ import (
 	"dynsample/internal/randx"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+// testSystem builds the shared fixture: a skewed sales table with small
+// group sampling pre-processed. cfg tweaks are applied over the base config.
+func testSystem(t *testing.T, cfg core.SmallGroupConfig) *core.System {
 	t.Helper()
 	region := engine.NewColumn("region", engine.String)
 	amount := engine.NewColumn("amount", engine.Float)
@@ -27,11 +29,21 @@ func testServer(t *testing.T) *httptest.Server {
 	}
 	db := engine.MustNewDatabase("salesdb", fact)
 	sys := core.NewSystem(db)
-	// Workers > 1 so every request exercises the parallel execution layer
-	// (step fan-out + partitioned scans) — especially under -race.
-	if err := sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: 0.05, Seed: 1, Workers: 4})); err != nil {
+	if cfg.BaseRate == 0 {
+		cfg.BaseRate = 0.05
+	}
+	cfg.Seed = 1
+	if err := sys.AddStrategy(core.NewSmallGroup(cfg)); err != nil {
 		t.Fatal(err)
 	}
+	return sys
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	// Workers > 1 so every request exercises the parallel execution layer
+	// (step fan-out + partitioned scans) — especially under -race.
+	sys := testSystem(t, core.SmallGroupConfig{Workers: 4})
 	srv := httptest.NewServer(New(sys, "smallgroup").Handler())
 	t.Cleanup(srv.Close)
 	return srv
