@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet cover bench experiments experiments-quick examples faults fuzz clean
+.PHONY: all check build test vet cover bench experiments experiments-quick examples faults fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -22,12 +22,14 @@ test:
 	$(GO) test ./...
 
 # Fault-injection and stress tests: deterministic timeout / cancellation /
-# overload / drain / panic-recovery scenarios plus the concurrent-query
-# stress test, all under the race detector.
+# overload / drain / panic-recovery scenarios, the concurrent-query stress
+# test, and the crash/corruption recovery suite (snapshot truncation and
+# bit-flip detection, catalog generation fallback, zero-downtime rebuild
+# swaps), all under the race detector.
 faults:
-	$(GO) test -race -timeout 120s ./internal/faults
-	$(GO) test -race -timeout 120s \
-		-run 'Ctx|Cancel|Deadline|Degrade|Overload|Drain|Panic|Stuck|Robust|BadRequest|Malformed|Stress|WriteJSON|ExactParity' \
+	$(GO) test -race -timeout 120s ./internal/faults ./internal/catalog
+	$(GO) test -race -timeout 180s \
+		-run 'Ctx|Cancel|Deadline|Degrade|Overload|Drain|Panic|Stuck|Robust|BadRequest|Malformed|Stress|WriteJSON|ExactParity|Snapshot|Catalog|Recovery|Rebuild|Swap|Healthz|Readyz|HostileLength' \
 		./internal/parallel ./internal/engine ./internal/core ./internal/server
 
 # Short mode skips the slowest end-to-end experiment tests.
@@ -56,6 +58,11 @@ examples:
 
 fuzz:
 	$(GO) test ./internal/sqlparse -fuzz FuzzParse -fuzztime 30s
+
+# Quick fuzz pass over the sample-store loader: arbitrary bytes (including
+# bit-flipped valid snapshots) must produce errors, never panics.
+fuzz-smoke:
+	$(GO) test ./internal/core -run FuzzLoadSmallGroup -fuzz FuzzLoadSmallGroup -fuzztime 15s
 
 clean:
 	$(GO) clean ./...

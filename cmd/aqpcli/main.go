@@ -18,12 +18,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"dynsample/internal/catalog"
 	"dynsample/internal/core"
 	"dynsample/internal/datagen"
 	"dynsample/internal/engine"
@@ -97,7 +99,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		p, err := core.LoadSmallGroup(f)
+		p, err := core.LoadSmallGroupAny(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -121,15 +123,15 @@ func main() {
 		}
 	}
 	if *save != "" {
+		// Atomic + checksummed: the file appears under its final name only
+		// after a successful write and fsync, in the snapshot container that
+		// LoadSmallGroupAny verifies on the way back in. A crash mid-save
+		// leaves any previous file untouched.
 		p, _ := sys.Prepared("smallgroup")
-		f, err := os.Create(*save)
+		err := catalog.WriteFileAtomic(*save, func(w io.Writer) error {
+			return core.SaveSmallGroupSnapshot(w, p)
+		})
 		if err != nil {
-			fatal(err)
-		}
-		if err := core.SaveSmallGroup(f, p); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "sample set saved to %s\n", *save)

@@ -17,14 +17,23 @@
 // load beyond -max-inflight is shed with 503 + Retry-After, and SIGINT or
 // SIGTERM drains in-flight requests (up to -drain-timeout) before exiting.
 //
+// Durability: with -catalog-dir the server keeps its pre-processed samples in
+// a crash-safe snapshot catalog. At startup it recovers the newest generation
+// that verifies (falling back to older ones, then to a fresh rebuild — the
+// catalog self-heals); POST /admin/rebuild (or -rebuild-interval) re-runs
+// pre-processing in the background and swaps the new generation in without
+// dropping a single query.
+//
 // Flags are validated before the database is generated, so a bad value fails
 // in milliseconds instead of after minutes of data generation.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -32,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"dynsample/internal/catalog"
 	"dynsample/internal/core"
 	"dynsample/internal/datagen"
 	"dynsample/internal/engine"
@@ -52,10 +62,12 @@ func main() {
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline; 0 disables (clients may override per request via timeout_ms)")
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrent /query + /exact requests; excess is shed with 503 + Retry-After (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests after SIGINT/SIGTERM")
+		catalogDir   = flag.String("catalog-dir", "", "directory for the crash-safe snapshot catalog; samples are recovered from it at startup and every rebuild persists a new generation")
+		rebuildEvery = flag.Duration("rebuild-interval", 0, "rebuild the samples periodically, swapping each new generation in without downtime (0 disables; rebuilds are also available on demand via POST /admin/rebuild)")
 	)
 	flag.Parse()
 	// Fail fast on invalid parameters — before paying for data generation.
-	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers, *queryTimeout, *maxInflight, *drainTimeout); err != nil {
+	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers, *queryTimeout, *maxInflight, *drainTimeout, *rebuildEvery); err != nil {
 		fatal(err)
 	}
 
@@ -75,12 +87,27 @@ func main() {
 	}
 
 	sys := core.NewSystem(db)
-	if *restore != "" {
+	strategy := core.NewSmallGroup(core.SmallGroupConfig{BaseRate: *rate, Seed: *seed, Workers: *workers})
+	var cat *catalog.Catalog
+	if *catalogDir != "" {
+		if cat, err = catalog.Open(*catalogDir, catalog.Options{}); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Startup recovery order: an explicit -restore file wins; otherwise the
+	// catalog's newest verifying generation; otherwise pre-process from
+	// scratch (and, with a catalog, persist the fresh build as generation 1 —
+	// a catalog whose snapshots all fail verification self-heals this way).
+	var gen uint64
+	source := "preprocess"
+	switch {
+	case *restore != "":
 		f, err := os.Open(*restore)
 		if err != nil {
 			fatal(err)
 		}
-		p, err := core.LoadSmallGroup(f)
+		p, err := core.LoadSmallGroupAny(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -89,22 +116,58 @@ func main() {
 			wc.SetWorkers(*workers)
 		}
 		sys.AddPrepared("smallgroup", p)
+		source = "snapshot"
 		fmt.Fprintf(os.Stderr, "restored sample set from %s\n", *restore)
-	} else {
-		start := time.Now()
-		if err := sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: *rate, Seed: *seed, Workers: *workers})); err != nil {
+	case cat != nil:
+		var p core.Prepared
+		res, err := cat.LoadLatest(func(r io.Reader) error {
+			var derr error
+			p, derr = core.LoadSmallGroup(r)
+			return derr
+		})
+		for _, sk := range res.Skipped {
+			fmt.Fprintf(os.Stderr, "aqpd: skipping catalog generation %d: %v\n", sk.Generation, sk.Err)
+		}
+		switch {
+		case err == nil:
+			if wc, ok := p.(core.WorkerConfigurable); ok {
+				wc.SetWorkers(*workers)
+			}
+			sys.AddPrepared("smallgroup", p)
+			gen, source = res.Generation, "snapshot"
+			fmt.Fprintf(os.Stderr, "recovered sample generation %d from %s\n", res.Generation, *catalogDir)
+		case errors.Is(err, catalog.ErrNoSnapshot):
+			fmt.Fprintf(os.Stderr, "no usable snapshot in %s; pre-processing from scratch...\n", *catalogDir)
+			preprocess(sys, strategy)
+			if g, err := cat.Save(func(w io.Writer) error {
+				p, _ := sys.Prepared("smallgroup")
+				return core.SaveSmallGroup(w, p)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "aqpd: warning: samples built but not persisted: %v\n", err)
+			} else {
+				gen = g
+				fmt.Fprintf(os.Stderr, "saved sample generation %d to %s\n", g, *catalogDir)
+			}
+		default:
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "pre-processing done in %v\n", time.Since(start).Round(time.Millisecond))
+	default:
+		preprocess(sys, strategy)
 	}
 
-	handler := server.NewWithConfig(sys, "smallgroup", server.Config{
+	websrv := server.NewWithConfig(sys, "smallgroup", server.Config{
 		DefaultTimeout: *queryTimeout,
 		MaxInflight:    *maxInflight,
-	}).Handler()
+		Rebuild: server.RebuildConfig{
+			Strategy: strategy,
+			Catalog:  cat,
+			Workers:  *workers,
+		},
+	})
+	websrv.MarkGeneration(gen, source)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: handler,
+		Handler: websrv.Handler(),
 		// Bounded at every stage so no connection can hold resources
 		// forever: header read (slowloris), full request read, response
 		// write, and keep-alive idle.
@@ -120,6 +183,10 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *rebuildEvery > 0 {
+		go websrv.AutoRebuild(ctx, *rebuildEvery)
+		fmt.Fprintf(os.Stderr, "aqpd: rebuilding samples every %v\n", *rebuildEvery)
+	}
 	fmt.Fprintf(os.Stderr, "aqpd listening on %s (%d workers, query timeout %v, max in-flight %s)\n",
 		ln.Addr(), *workers, *queryTimeout, inflightLabel(*maxInflight))
 	err = server.Serve(ctx, srv, ln, *drainTimeout)
@@ -130,6 +197,16 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "aqpd: shutdown complete")
+}
+
+// preprocess runs the strategy's pre-processing phase, reporting its wall
+// time like every aqpd start always has.
+func preprocess(sys *core.System, strategy core.Strategy) {
+	start := time.Now()
+	if err := sys.AddStrategy(strategy); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pre-processing done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
 // writeTimeoutFor sizes the connection write timeout around the query
@@ -150,7 +227,7 @@ func inflightLabel(n int) string {
 }
 
 // validateFlags rejects out-of-range parameters with actionable messages.
-func validateFlags(dbKind string, rate float64, rows int, z float64, workers int, queryTimeout time.Duration, maxInflight int, drainTimeout time.Duration) error {
+func validateFlags(dbKind string, rate float64, rows int, z float64, workers int, queryTimeout time.Duration, maxInflight int, drainTimeout time.Duration, rebuildEvery time.Duration) error {
 	switch dbKind {
 	case "tpch", "sales":
 	default:
@@ -176,6 +253,9 @@ func validateFlags(dbKind string, rate float64, rows int, z float64, workers int
 	}
 	if drainTimeout < 0 {
 		return fmt.Errorf("invalid -drain-timeout %v: must be >= 0 (0 waits indefinitely)", drainTimeout)
+	}
+	if rebuildEvery < 0 {
+		return fmt.Errorf("invalid -rebuild-interval %v: must be >= 0 (0 disables periodic rebuilds)", rebuildEvery)
 	}
 	return nil
 }

@@ -1,0 +1,68 @@
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dynsample/internal/faults"
+)
+
+// tmpPrefix marks in-progress writes. Files with this prefix are never
+// considered snapshots; Open sweeps leftovers from crashed writers.
+const tmpPrefix = ".tmp-"
+
+// WriteFileAtomic writes a file crash-safely: the content goes to a
+// temporary file in the target's directory, is fsynced, and is renamed over
+// the final path only after the data is durable; the directory is then
+// fsynced so the rename itself survives a crash. Every error — including
+// the Close and Sync failures a plain os.Create sequence tends to ignore —
+// aborts the write, removes the temporary file, and leaves any previous
+// file at path untouched. A crash at any point leaves either the old
+// complete file or the new complete file, never a torn mix.
+//
+// Fault point: faults.PointSnapshotSync (ErrHook) injects an fsync failure.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tmpPrefix+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("catalog: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = faults.FireErr(faults.PointSnapshotSync, 0); err != nil {
+		return fmt.Errorf("catalog: fsync %s: %w", tmp, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("catalog: fsync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("catalog: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("catalog: committing %s: %w", path, err)
+	}
+	// Fsync the directory so the rename is durable. Failure here is
+	// reported — the data might not survive a power cut — but the rename
+	// already happened, so nothing is removed.
+	if d, derr := os.Open(dir); derr == nil {
+		serr := d.Sync()
+		cerr := d.Close()
+		if serr != nil {
+			return fmt.Errorf("catalog: fsync dir %s: %w", dir, serr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("catalog: close dir %s: %w", dir, cerr)
+		}
+	}
+	return nil
+}

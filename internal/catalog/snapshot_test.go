@@ -1,0 +1,224 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"dynsample/internal/faults"
+)
+
+// encodeSnapshot writes payload bytes through WriteSnapshot into memory.
+func encodeSnapshot(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := WriteSnapshot(&buf, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeSnapshot reads a snapshot fully, returning the payload it carried.
+func decodeSnapshot(enc []byte) ([]byte, error) {
+	var got []byte
+	err := ReadSnapshot(bytes.NewReader(enc), func(r io.Reader) error {
+		var err error
+		got, err = io.ReadAll(r)
+		return err
+	})
+	return got, err
+}
+
+// testPayload is patterned (not constant) so corruption anywhere lands on
+// meaningful bytes, and sized to span multiple chunks plus a partial one.
+func testPayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*131 + i>>8)
+	}
+	return p
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, chunkSize, chunkSize + 1, 3*chunkSize + 777} {
+		payload := testPayload(n)
+		enc := encodeSnapshot(t, payload)
+		got, err := decodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("n=%d: payload mismatch", n)
+		}
+	}
+}
+
+func TestSnapshotPartialDecodeStillVerifiesTail(t *testing.T) {
+	// A decoder that reads only a prefix must not mask corruption later in
+	// the file: ReadSnapshot drains and verifies the trailer regardless.
+	payload := testPayload(2*chunkSize + 100)
+	enc := encodeSnapshot(t, payload)
+	enc[len(enc)-30] ^= 0x10 // corrupt near the tail
+	err := ReadSnapshot(bytes.NewReader(enc), func(r io.Reader) error {
+		_, err := io.ReadFull(r, make([]byte, 10))
+		return err
+	})
+	if err == nil {
+		t.Fatal("corruption behind a partial decode went undetected")
+	}
+}
+
+// TestSnapshotTruncationAnyOffset proves the acceptance criterion: a
+// snapshot truncated at ANY byte offset is rejected with an error, never
+// decoded as a shorter-but-plausible payload.
+func TestSnapshotTruncationAnyOffset(t *testing.T) {
+	payload := testPayload(chunkSize + 257) // two chunks, one partial
+	enc := encodeSnapshot(t, payload)
+	for cut := 0; cut < len(enc); cut++ {
+		got, err := decodeSnapshot(enc[:cut])
+		if err == nil {
+			t.Fatalf("truncation at offset %d/%d accepted (decoded %d bytes)", cut, len(enc), len(got))
+		}
+	}
+}
+
+// TestSnapshotBitFlipAnyBit proves the other half of the criterion: any
+// single flipped bit anywhere in the file is detected.
+func TestSnapshotBitFlipAnyBit(t *testing.T) {
+	payload := testPayload(300) // small enough to try all 8 flips per byte
+	enc := encodeSnapshot(t, payload)
+	mut := make([]byte, len(enc))
+	for off := 0; off < len(enc); off++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, enc)
+			mut[off] ^= 1 << bit
+			got, err := decodeSnapshot(mut)
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted (decoded %d bytes)", off, bit, len(got))
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("bit flip at byte %d bit %d: error %v does not wrap ErrCorrupt", off, bit, err)
+			}
+		}
+	}
+}
+
+// TestSnapshotBitFlipSampledLarge extends bit-flip coverage across a
+// multi-chunk snapshot: every byte of the structural tail (end frame +
+// trailer) plus a prime-strided sample of the chunked body, one flipped bit
+// per sampled position.
+func TestSnapshotBitFlipSampledLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled large-file corruption scan")
+	}
+	payload := testPayload(2*chunkSize + 100)
+	enc := encodeSnapshot(t, payload)
+	tail := len(enc) - 64 // covers end frame and trailer exhaustively
+	var offsets []int
+	for off := 0; off < tail; off += 131 {
+		offsets = append(offsets, off)
+	}
+	for off := tail; off < len(enc); off++ {
+		offsets = append(offsets, off)
+	}
+	mut := make([]byte, len(enc))
+	for _, off := range offsets {
+		copy(mut, enc)
+		mut[off] ^= 1 << (off % 8)
+		if _, err := decodeSnapshot(mut); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", off)
+		}
+	}
+}
+
+func TestSnapshotTrailingGarbageRejected(t *testing.T) {
+	enc := encodeSnapshot(t, testPayload(64))
+	enc = append(enc, 0xAB)
+	if _, err := decodeSnapshot(enc); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestSnapshotWriteFaultInjection(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	boom := errors.New("disk full")
+	faults.SetErr(faults.PointSnapshotWrite, faults.FailNth(1, boom))
+	var buf bytes.Buffer
+	err := WriteSnapshot(&buf, func(w io.Writer) error {
+		_, err := w.Write(testPayload(3 * chunkSize))
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteSnapshot error = %v, want %v", err, boom)
+	}
+	// Whatever prefix made it out must itself be rejected on read — a
+	// crashed writer cannot leave a loadable-looking file.
+	if _, derr := decodeSnapshot(buf.Bytes()); derr == nil {
+		t.Fatal("partial write decoded cleanly")
+	}
+}
+
+func TestSnapshotReadFaultInjection(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	enc := encodeSnapshot(t, testPayload(3*chunkSize))
+	boom := errors.New("read error")
+	faults.SetErr(faults.PointSnapshotRead, faults.FailNth(2, boom))
+	if _, err := decodeSnapshot(enc); !errors.Is(err, boom) {
+		t.Fatalf("decode error = %v, want %v", err, boom)
+	}
+	faults.Reset()
+	if _, err := decodeSnapshot(enc); err != nil {
+		t.Fatalf("decode after Reset: %v", err)
+	}
+}
+
+func TestSnapshotChunkCorruptionHook(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	faults.SetData(faults.PointSnapshotChunk, faults.FlipBit(1, 12))
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, func(w io.Writer) error {
+		_, err := w.Write(testPayload(2*chunkSize + 5))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	faults.Reset()
+	_, err := decodeSnapshot(buf.Bytes())
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hook-planted corruption: err = %v, want ErrCorrupt", err)
+	}
+	if err == nil || len(err.Error()) == 0 {
+		t.Fatal("expected a descriptive error")
+	}
+}
+
+func TestSnapshotErrorsAreDescriptive(t *testing.T) {
+	enc := encodeSnapshot(t, testPayload(128))
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"chunk checksum", func(b []byte) []byte { b[len(snapshotMagic)+9] ^= 1; return b }},
+		{"trailer checksum", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+	}
+	for _, c := range cases {
+		mut := c.mangle(append([]byte(nil), enc...))
+		_, err := decodeSnapshot(mut)
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if msg := err.Error(); len(msg) < len("catalog:") {
+			t.Fatalf("%s: error %q not descriptive", c.name, msg)
+		} else {
+			t.Logf("%s → %v", c.name, fmt.Errorf("%w", err))
+		}
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynsample/internal/engine"
@@ -103,47 +105,101 @@ func (a *Answer) Interval(key engine.GroupKey, agg int) stats.Interval {
 // System is the AQP middleware: it owns the base database, runs strategy
 // pre-processing, routes runtime queries to a chosen strategy, and can
 // always fall back to exact execution.
+//
+// The registered Prepared set lives behind an atomic pointer to an
+// immutable snapshot, so strategies can be hot-swapped (SwapPrepared) while
+// queries are being served: a query loads the snapshot once and keeps
+// answering from the generation it started with, and registration never
+// blocks or tears a concurrent Answer. Writers (AddStrategy, AddPrepared,
+// SwapPrepared) copy-on-write under an internal mutex and may be called
+// from any goroutine.
 type System struct {
-	db       *engine.Database
+	db  *engine.Database
+	mu  sync.Mutex // serialises writers; readers go through the pointer
+	set atomic.Pointer[preparedSet]
+}
+
+// preparedSet is one immutable generation of the registered strategies.
+// Swapping installs a fresh preparedSet; published maps are never mutated.
+type preparedSet struct {
 	prepared map[string]Prepared
 	prepTime map[string]time.Duration
 }
 
 // NewSystem returns a middleware instance over db.
 func NewSystem(db *engine.Database) *System {
-	return &System{
-		db:       db,
-		prepared: make(map[string]Prepared),
-		prepTime: make(map[string]time.Duration),
-	}
+	s := &System{db: db}
+	s.set.Store(&preparedSet{
+		prepared: map[string]Prepared{},
+		prepTime: map[string]time.Duration{},
+	})
+	return s
 }
 
 // DB returns the underlying database.
 func (s *System) DB() *engine.Database { return s.db }
 
+// update installs a copy-on-write modification of the prepared set.
+func (s *System) update(mutate func(*preparedSet)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.set.Load()
+	next := &preparedSet{
+		prepared: make(map[string]Prepared, len(old.prepared)+1),
+		prepTime: make(map[string]time.Duration, len(old.prepTime)+1),
+	}
+	for k, v := range old.prepared {
+		next.prepared[k] = v
+	}
+	for k, v := range old.prepTime {
+		next.prepTime[k] = v
+	}
+	mutate(next)
+	s.set.Store(next)
+}
+
 // AddStrategy runs a strategy's pre-processing phase and registers the
-// result under the strategy's name.
+// result under the strategy's name. Pre-processing runs outside the swap:
+// queries keep being answered from the current generation until the new
+// state is installed atomically.
 func (s *System) AddStrategy(st Strategy) error {
 	start := time.Now()
 	p, err := st.Preprocess(s.db)
 	if err != nil {
 		return fmt.Errorf("preprocess %s: %w", st.Name(), err)
 	}
-	s.prepared[st.Name()] = p
-	s.prepTime[st.Name()] = time.Since(start)
+	elapsed := time.Since(start)
+	s.update(func(set *preparedSet) {
+		set.prepared[st.Name()] = p
+		set.prepTime[st.Name()] = elapsed
+	})
 	return nil
 }
 
 // AddPrepared registers already-built runtime state (e.g. loaded from disk
 // via LoadSmallGroup) under a name, skipping pre-processing.
 func (s *System) AddPrepared(name string, p Prepared) {
-	s.prepared[name] = p
+	s.update(func(set *preparedSet) { set.prepared[name] = p })
+}
+
+// SwapPrepared atomically replaces the runtime state registered under name
+// and returns the previous state (nil if none). In-flight queries that
+// already resolved the old state finish on it; queries arriving after the
+// swap see only the new state. This is the zero-downtime rebuild primitive:
+// build the new generation in the background, then SwapPrepared.
+func (s *System) SwapPrepared(name string, p Prepared) (prev Prepared) {
+	s.update(func(set *preparedSet) {
+		prev = set.prepared[name]
+		set.prepared[name] = p
+	})
+	return prev
 }
 
 // Strategies lists the registered strategy names, sorted.
 func (s *System) Strategies() []string {
-	names := make([]string, 0, len(s.prepared))
-	for n := range s.prepared {
+	set := s.set.Load()
+	names := make([]string, 0, len(set.prepared))
+	for n := range set.prepared {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -152,12 +208,14 @@ func (s *System) Strategies() []string {
 
 // Prepared returns the registered runtime state for a strategy.
 func (s *System) Prepared(name string) (Prepared, bool) {
-	p, ok := s.prepared[name]
+	p, ok := s.set.Load().prepared[name]
 	return p, ok
 }
 
 // PreprocessTime returns how long a strategy's pre-processing took.
-func (s *System) PreprocessTime(name string) time.Duration { return s.prepTime[name] }
+func (s *System) PreprocessTime(name string) time.Duration {
+	return s.set.Load().prepTime[name]
+}
 
 // Approx answers the query with the named strategy. It is ApproxCtx with a
 // background context — it cannot be cancelled.
@@ -170,7 +228,9 @@ func (s *System) Approx(strategy string, q *engine.Query) (*Answer, error) {
 // deadlines propagate into its shard scans; otherwise the query runs to
 // completion and the context is ignored.
 func (s *System) ApproxCtx(ctx context.Context, strategy string, q *engine.Query) (*Answer, error) {
-	p, ok := s.prepared[strategy]
+	// One atomic load pins this query to the current generation; a
+	// concurrent SwapPrepared cannot change the state p points to.
+	p, ok := s.set.Load().prepared[strategy]
 	if !ok {
 		return nil, fmt.Errorf("core: strategy %q not registered", strategy)
 	}

@@ -20,6 +20,26 @@ import (
 const storeMagic = "DSSG"
 const storeVersion = 1
 
+// Sanity caps on length prefixes. A truncated or corrupted header must
+// produce a descriptive error, not a multi-gigabyte allocation: every count
+// read from the stream is bounded before it sizes anything, and map/slice
+// capacity hints are additionally clamped to allocHint so even an in-range
+// lie costs little before the stream runs dry.
+const (
+	maxStoreColumns = 1 << 16 // columns in the metadata table
+	maxStorePairs   = 1 << 20 // column-pair metadata entries
+	maxStoreSetSize = 1 << 26 // values per common/exact/rare set
+	maxStoreTables  = 1 << 20 // MaxTablesPerQuery upper bound
+	allocHint       = 1 << 16 // pre-allocation clamp for header-declared sizes
+)
+
+func capHint(n uint32) int {
+	if n > allocHint {
+		return allocHint
+	}
+	return int(n)
+}
+
 // SaveSmallGroup serialises a small group sampling Prepared (as returned by
 // SmallGroup.Preprocess or a previous LoadSmallGroup).
 func SaveSmallGroup(w io.Writer, p Prepared) error {
@@ -111,6 +131,9 @@ func LoadSmallGroup(r io.Reader) (Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	if maxTables > maxStoreTables {
+		return nil, fmt.Errorf("core: unreasonable max tables per query %d", maxTables)
+	}
 	cfg.MaxTablesPerQuery = int(maxTables)
 	overallScale, err := getF64(br)
 	if err != nil {
@@ -124,6 +147,9 @@ func LoadSmallGroup(r io.Reader) (Prepared, error) {
 	ncols, err := getU32(br)
 	if err != nil {
 		return nil, err
+	}
+	if ncols > maxStoreColumns {
+		return nil, fmt.Errorf("core: unreasonable column count %d", ncols)
 	}
 	metas := make([]ColumnMeta, ncols)
 	for i := range metas {
@@ -160,6 +186,9 @@ func LoadSmallGroup(r io.Reader) (Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	if npairs > maxStorePairs {
+		return nil, fmt.Errorf("core: unreasonable pair count %d", npairs)
+	}
 	for i := uint32(0); i < npairs; i++ {
 		var pm PairMeta
 		if pm.Cols[0], err = getString(br); err != nil {
@@ -177,7 +206,10 @@ func LoadSmallGroup(r io.Reader) (Prepared, error) {
 		if err != nil {
 			return nil, err
 		}
-		pm.Rare = make(map[engine.GroupKey]struct{}, nk)
+		if nk > maxStoreSetSize {
+			return nil, fmt.Errorf("core: unreasonable rare key count %d", nk)
+		}
+		pm.Rare = make(map[engine.GroupKey]struct{}, capHint(nk))
 		for j := uint32(0); j < nk; j++ {
 			k, err := getString(br)
 			if err != nil {
@@ -271,13 +303,19 @@ func getValueSet(r *bufio.Reader) (map[engine.Value]struct{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	set := make(map[engine.Value]struct{}, n)
+	if n > maxStoreSetSize {
+		return nil, fmt.Errorf("core: unreasonable value set size %d", n)
+	}
+	set := make(map[engine.Value]struct{}, capHint(n))
 	for i := uint32(0); i < n; i++ {
 		s, err := getString(r)
 		if err != nil {
 			return nil, err
 		}
-		vals := engine.DecodeKey(engine.GroupKey(s))
+		vals, err := engine.DecodeKeyChecked(engine.GroupKey(s))
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt value entry: %w", err)
+		}
 		if len(vals) != 1 {
 			return nil, fmt.Errorf("core: corrupt value entry")
 		}

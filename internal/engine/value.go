@@ -129,8 +129,22 @@ func AppendKey(dst []byte, vals []Value) []byte {
 	return dst
 }
 
-// DecodeKey unpacks a GroupKey produced by EncodeKey.
+// DecodeKey unpacks a GroupKey produced by EncodeKey. It panics on a
+// malformed key: engine-internal keys are always well-formed, so a failure
+// here is a programming error. Keys read from external input must go
+// through DecodeKeyChecked instead.
 func DecodeKey(k GroupKey) []Value {
+	vals, err := DecodeKeyChecked(k)
+	if err != nil {
+		panic(err.Error())
+	}
+	return vals
+}
+
+// DecodeKeyChecked unpacks a GroupKey, returning an error instead of
+// panicking on malformed bytes — the variant for keys deserialised from
+// untrusted input (e.g. a corrupted sample store).
+func DecodeKeyChecked(k GroupKey) ([]Value, error) {
 	b := []byte(k)
 	var vals []Value
 	for len(b) > 0 {
@@ -138,19 +152,31 @@ func DecodeKey(k GroupKey) []Value {
 		b = b[1:]
 		switch t {
 		case Int:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("engine: corrupt group key: short int value")
+			}
 			vals = append(vals, IntVal(int64(binary.LittleEndian.Uint64(b))))
 			b = b[8:]
 		case Float:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("engine: corrupt group key: short float value")
+			}
 			vals = append(vals, FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(b))))
 			b = b[8:]
 		case String:
-			n := int(binary.LittleEndian.Uint64(b))
+			if len(b) < 8 {
+				return nil, fmt.Errorf("engine: corrupt group key: short string header")
+			}
+			n := binary.LittleEndian.Uint64(b)
 			b = b[8:]
+			if n > uint64(len(b)) {
+				return nil, fmt.Errorf("engine: corrupt group key: string length %d exceeds %d remaining bytes", n, len(b))
+			}
 			vals = append(vals, StringVal(string(b[:n])))
 			b = b[n:]
 		default:
-			panic(fmt.Sprintf("engine: corrupt group key, type byte %d", t))
+			return nil, fmt.Errorf("engine: corrupt group key, type byte %d", t)
 		}
 	}
-	return vals
+	return vals, nil
 }

@@ -34,6 +34,25 @@ const (
 	// request goroutine — a panicking hook exercises the server's
 	// panic-recovery middleware.
 	PointHandler Point = "server.handler"
+
+	// I/O fault points for the snapshot catalog. The write and sync points
+	// take ErrHooks (a returned error is injected as the I/O failure); the
+	// chunk point takes a DataHook that may corrupt the bytes about to hit
+	// disk, simulating a flipped bit the checksums must catch.
+
+	// PointSnapshotWrite fires before each chunk of a snapshot is written;
+	// an injected error simulates a short write or full disk.
+	PointSnapshotWrite Point = "catalog.snapshot-write"
+	// PointSnapshotSync fires before an atomic file write fsyncs; an
+	// injected error simulates a failed fsync (the write must not commit).
+	PointSnapshotSync Point = "catalog.snapshot-sync"
+	// PointSnapshotRead fires before each chunk of a snapshot is read; an
+	// injected error simulates a failing disk on the read path.
+	PointSnapshotRead Point = "catalog.snapshot-read"
+	// PointSnapshotChunk fires with each encoded chunk frame (header +
+	// checksum + data) just before it is written; a DataHook may flip bits
+	// in place to plant on-disk corruption.
+	PointSnapshotChunk Point = "catalog.snapshot-chunk"
 )
 
 // Hook is an injected fault. ctx is the execution context of the hook site
@@ -43,10 +62,22 @@ const (
 // past a cancelled request.
 type Hook func(ctx context.Context, i int)
 
+// ErrHook is an injected I/O failure: a non-nil return value is surfaced by
+// the hook site as if the underlying operation (write, fsync, read) had
+// failed with that error. i is the chunk or attempt index.
+type ErrHook func(i int) error
+
+// DataHook may mutate b in place before it is written, planting corruption
+// (e.g. a single flipped bit) that integrity checks must later detect. i is
+// the chunk index.
+type DataHook func(i int, b []byte)
+
 var (
-	active atomic.Bool
-	mu     sync.Mutex
-	hooks  map[Point]Hook
+	active    atomic.Bool
+	mu        sync.Mutex
+	hooks     map[Point]Hook
+	errHooks  map[Point]ErrHook
+	dataHooks map[Point]DataHook
 )
 
 // Active reports whether any hook is registered. Hook sites use it (via
@@ -64,12 +95,36 @@ func Set(p Point, h Hook) {
 	active.Store(true)
 }
 
+// SetErr registers the error hook for a point, replacing any previous one.
+func SetErr(p Point, h ErrHook) {
+	mu.Lock()
+	defer mu.Unlock()
+	if errHooks == nil {
+		errHooks = make(map[Point]ErrHook)
+	}
+	errHooks[p] = h
+	active.Store(true)
+}
+
+// SetData registers the data hook for a point, replacing any previous one.
+func SetData(p Point, h DataHook) {
+	mu.Lock()
+	defer mu.Unlock()
+	if dataHooks == nil {
+		dataHooks = make(map[Point]DataHook)
+	}
+	dataHooks[p] = h
+	active.Store(true)
+}
+
 // Reset removes every registered hook, returning Fire to its no-op fast
 // path. Call it from t.Cleanup in every test that uses Set.
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	hooks = nil
+	errHooks = nil
+	dataHooks = nil
 	active.Store(false)
 }
 
@@ -84,6 +139,61 @@ func Fire(ctx context.Context, p Point, i int) {
 	mu.Unlock()
 	if h != nil {
 		h(ctx, i)
+	}
+}
+
+// FireErr runs the error hook registered for p, if any, returning its
+// injected error. With no hooks registered it is a single atomic load.
+func FireErr(p Point, i int) error {
+	if !active.Load() {
+		return nil
+	}
+	mu.Lock()
+	h := errHooks[p]
+	mu.Unlock()
+	if h != nil {
+		return h(i)
+	}
+	return nil
+}
+
+// FireData runs the data hook registered for p, if any, over b. With no
+// hooks registered it is a single atomic load.
+func FireData(p Point, i int, b []byte) {
+	if !active.Load() {
+		return
+	}
+	mu.Lock()
+	h := dataHooks[p]
+	mu.Unlock()
+	if h != nil {
+		h(i, b)
+	}
+}
+
+// FailNth returns an error hook that succeeds until the n-th firing
+// (0-based) and then returns err on that and every later call — a
+// deterministic "disk fails partway through".
+func FailNth(n int, err error) ErrHook {
+	var calls atomic.Int64
+	return func(int) error {
+		if calls.Add(1)-1 >= int64(n) {
+			return err
+		}
+		return nil
+	}
+}
+
+// FlipBit returns a data hook that flips one bit of the n-th fired chunk
+// (0-based): bit (off*8+bit)%len(b*8) counted from byte off within that
+// chunk, clamped into range. Later chunks pass through untouched.
+func FlipBit(n int, off int) DataHook {
+	var calls atomic.Int64
+	return func(_ int, b []byte) {
+		if calls.Add(1)-1 != int64(n) || len(b) == 0 {
+			return
+		}
+		b[off%len(b)] ^= 1 << (off % 8)
 	}
 }
 

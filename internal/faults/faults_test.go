@@ -38,7 +38,7 @@ func TestSleepHookRespectsContext(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	SleepHook(10 * time.Second)(ctx, 0)
+	SleepHook(10*time.Second)(ctx, 0)
 	if d := time.Since(start); d > 5*time.Second {
 		t.Fatalf("SleepHook ignored cancelled context (slept %v)", d)
 	}
@@ -62,6 +62,43 @@ func TestBlockHookRelease(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("BlockHook did not return after release")
+	}
+}
+
+func TestErrAndDataHooks(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := FireErr(PointSnapshotWrite, 0); err != nil {
+		t.Fatalf("FireErr with no hook = %v", err)
+	}
+	boom := context.DeadlineExceeded // any sentinel
+	SetErr(PointSnapshotWrite, FailNth(2, boom))
+	for i := 0; i < 2; i++ {
+		if err := FireErr(PointSnapshotWrite, i); err != nil {
+			t.Fatalf("FailNth fired early on call %d: %v", i, err)
+		}
+	}
+	if err := FireErr(PointSnapshotWrite, 2); err != boom {
+		t.Fatalf("FailNth(2) on 3rd call = %v, want %v", err, boom)
+	}
+	if err := FireErr(PointSnapshotSync, 0); err != nil {
+		t.Fatalf("unhooked point returned %v", err)
+	}
+
+	b := []byte{0, 0, 0}
+	FireData(PointSnapshotChunk, 0, b) // no hook: untouched
+	SetData(PointSnapshotChunk, FlipBit(1, 1))
+	c0, c1 := []byte{0, 0, 0}, []byte{0, 0, 0}
+	FireData(PointSnapshotChunk, 0, c0)
+	FireData(PointSnapshotChunk, 1, c1)
+	if c0[1] != 0 {
+		t.Fatalf("FlipBit(1, _) touched chunk 0: %v", c0)
+	}
+	if c1[1] != 1<<1 {
+		t.Fatalf("FlipBit did not flip chunk 1 byte 1 bit 1: %v", c1)
+	}
+	Reset()
+	if Active() {
+		t.Fatal("Active() after Reset")
 	}
 }
 

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"dynsample/internal/catalog"
+	"dynsample/internal/core"
+)
+
+// Zero-downtime rebuild and health reporting. The sample family a server
+// answers from is not frozen at startup: POST /admin/rebuild (or the
+// periodic AutoRebuild loop) re-runs the strategy's pre-processing phase
+// against the base data while queries keep being answered from the current
+// generation, then swaps the new state in atomically (core.SwapPrepared)
+// and persists it as the next catalog generation. In-flight queries finish
+// on the generation they started with; no request ever observes a torn or
+// missing sample set.
+
+// RebuildConfig enables zero-downtime sample rebuilds.
+type RebuildConfig struct {
+	// Strategy is re-run against the base database on every rebuild. Nil
+	// disables /admin/rebuild and AutoRebuild.
+	Strategy core.Strategy
+	// Catalog, when non-nil, persists each rebuilt generation as a
+	// crash-safe snapshot (and is the authority for generation numbers).
+	Catalog *catalog.Catalog
+	// Workers is applied to the rebuilt state when it is worker-configurable
+	// (mirrors what the CLIs do after LoadSmallGroup).
+	Workers int
+}
+
+// ErrRebuildInProgress is returned when a rebuild is requested while
+// another one is still running; rebuilds are single-flight.
+var ErrRebuildInProgress = errors.New("server: rebuild already in progress")
+
+// CodeRebuildInProgress is the ErrorResponse.Code for a rejected
+// concurrent rebuild.
+const CodeRebuildInProgress = "rebuild_in_progress"
+
+// healthState is the mutable serving state surfaced by /healthz and
+// /readyz. All fields are atomics: handlers read them while a rebuild
+// updates them.
+type healthState struct {
+	generation  atomic.Uint64
+	lastRebuild atomic.Int64 // unix nanos of the last successful build/load; 0 = unknown
+	rebuilding  atomic.Bool
+	source      atomic.Pointer[string] // "preprocess" | "snapshot" | "rebuild"
+	lastErr     atomic.Pointer[string] // last rebuild failure, cleared on success
+}
+
+// MarkGeneration records which sample generation the server is serving and
+// where it came from ("preprocess" for a fresh build, "snapshot" for a
+// catalog restore). The CLIs call it once at startup so /healthz is
+// accurate before any rebuild has happened.
+func (s *Server) MarkGeneration(gen uint64, source string) {
+	s.health.generation.Store(gen)
+	s.health.source.Store(&source)
+	s.health.lastRebuild.Store(time.Now().UnixNano())
+}
+
+// RebuildStatus reports the outcome of one rebuild.
+type RebuildStatus struct {
+	// Generation is the new serving generation.
+	Generation uint64 `json:"generation"`
+	// ElapsedMS is the pre-processing wall time in milliseconds.
+	ElapsedMS int64 `json:"elapsedMillis"`
+	// Persisted is true when the generation was saved to the catalog.
+	Persisted bool `json:"persisted"`
+	// PersistError carries a catalog save failure. The swap still happened —
+	// the server is answering from the new samples — but the generation is
+	// not durable.
+	PersistError string `json:"persistError,omitempty"`
+}
+
+// Rebuild runs one zero-downtime rebuild: pre-process the base data with
+// the configured strategy (queries keep being served from the current
+// generation meanwhile), swap the result in atomically, and persist it to
+// the catalog when one is configured. Rebuilds are single-flight; a
+// concurrent call fails fast with ErrRebuildInProgress.
+func (s *Server) Rebuild() (RebuildStatus, error) {
+	var st RebuildStatus
+	rb := s.cfg.Rebuild
+	if rb.Strategy == nil {
+		return st, errors.New("server: rebuild not configured")
+	}
+	if !s.health.rebuilding.CompareAndSwap(false, true) {
+		return st, ErrRebuildInProgress
+	}
+	defer s.health.rebuilding.Store(false)
+
+	start := time.Now()
+	p, err := rb.Strategy.Preprocess(s.sys.DB())
+	if err != nil {
+		msg := err.Error()
+		s.health.lastErr.Store(&msg)
+		return st, fmt.Errorf("server: rebuild preprocess: %w", err)
+	}
+	if wc, ok := p.(core.WorkerConfigurable); ok && rb.Workers > 0 {
+		wc.SetWorkers(rb.Workers)
+	}
+	st.ElapsedMS = time.Since(start).Milliseconds()
+
+	// Persist first, then swap: if the save fails we still swap (fresh
+	// samples beat stale ones) but report the durability gap.
+	st.Generation = s.health.generation.Load() + 1
+	if rb.Catalog != nil {
+		gen, err := rb.Catalog.Save(func(w io.Writer) error {
+			return core.SaveSmallGroup(w, p)
+		})
+		if err != nil {
+			st.PersistError = err.Error()
+		} else {
+			st.Generation = gen
+			st.Persisted = true
+		}
+	}
+	s.sys.SwapPrepared(s.strategy, p)
+	s.health.generation.Store(st.Generation)
+	src := "rebuild"
+	s.health.source.Store(&src)
+	s.health.lastRebuild.Store(time.Now().UnixNano())
+	s.health.lastErr.Store(nil)
+	return st, nil
+}
+
+// AutoRebuild rebuilds every interval until ctx is cancelled — the
+// -rebuild-interval flag of aqpd. Failures are reported through /healthz
+// (lastRebuildError) and the next tick tries again.
+func (s *Server) AutoRebuild(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.Rebuild() // errors land in healthState.lastErr
+		}
+	}
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Rebuild.Strategy == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("rebuild not configured (start the server with a strategy and catalog)"))
+		return
+	}
+	st, err := s.Rebuild()
+	switch {
+	case errors.Is(err, ErrRebuildInProgress):
+		writeErrCode(w, http.StatusConflict, CodeRebuildInProgress, err)
+	case err != nil:
+		writeErrCode(w, http.StatusInternalServerError, CodeInternal, err)
+	default:
+		writeJSON(w, st)
+	}
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status     string `json:"status"` // "ok" or "rebuilding"
+	Strategy   string `json:"strategy"`
+	Generation uint64 `json:"generation"`
+	// Source is where the serving samples came from: "preprocess",
+	// "snapshot" or "rebuild".
+	Source string `json:"source,omitempty"`
+	// LastRebuild is the RFC3339 time the serving generation was built or
+	// loaded; empty if unknown.
+	LastRebuild string `json:"lastRebuild,omitempty"`
+	Rebuilding  bool   `json:"rebuilding"`
+	// LastRebuildError is the most recent failed rebuild's error; cleared
+	// by the next success.
+	LastRebuildError string `json:"lastRebuildError,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthResponse{
+		Status:     "ok",
+		Strategy:   s.strategy,
+		Generation: s.health.generation.Load(),
+		Rebuilding: s.health.rebuilding.Load(),
+	}
+	if resp.Rebuilding {
+		resp.Status = "rebuilding"
+	}
+	if src := s.health.source.Load(); src != nil {
+		resp.Source = *src
+	}
+	if ns := s.health.lastRebuild.Load(); ns != 0 {
+		resp.LastRebuild = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	if e := s.health.lastErr.Load(); e != nil {
+		resp.LastRebuildError = *e
+	}
+	writeJSON(w, resp)
+}
+
+// ReadyResponse is the body of GET /readyz.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReadyz reports 200 once the active strategy has runtime state to
+// answer from, 503 otherwise — the signal a load balancer or orchestrator
+// uses to gate traffic. A rebuild does not flip readiness: the old
+// generation keeps serving until the swap.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if _, ok := s.sys.Prepared(s.strategy); !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		b, _ := json.Marshal(ReadyResponse{Ready: false, Reason: fmt.Sprintf("strategy %q has no prepared state", s.strategy)})
+		w.Write(append(b, '\n'))
+		return
+	}
+	writeJSON(w, ReadyResponse{Ready: true})
+}

@@ -8,13 +8,17 @@
 //
 // The handler serves any number of /query, /exact and metadata requests in
 // parallel (net/http runs each request on its own goroutine). This is safe
-// because the server holds no mutable state: the core.System, its base
-// database and every pre-built sample table are immutable once the Server is
-// constructed, and all per-request state — the parsed statement, the rewrite
-// plan, partial and combined results, response buffers — lives on the
-// request's own goroutine. Register all strategies (System.AddStrategy /
-// AddPrepared) and set worker budgets (core.WorkerConfigurable) before
-// calling Handler; those mutate the shared state and are not synchronised.
+// because shared state is either immutable or swapped atomically: the base
+// database and every pre-built sample table never change once built, all
+// per-request state — the parsed statement, the rewrite plan, partial and
+// combined results, response buffers — lives on the request's own
+// goroutine, and the registered Prepared set sits behind an atomic pointer
+// in core.System. A rebuild (POST /admin/rebuild, or AutoRebuild on a
+// timer) pre-processes a fresh sample generation in the background, swaps
+// it in with core.SwapPrepared, and persists it to the sample catalog;
+// queries in flight during the swap finish on the generation they started
+// with. Set worker budgets (core.WorkerConfigurable) before calling
+// Handler; that mutation is not synchronised.
 //
 // Each request may itself fan out: with a worker budget configured
 // (SmallGroupConfig.Workers, or the -workers flag of aqpd), one query's
@@ -63,15 +67,22 @@ type Config struct {
 	MaxInflight int
 	// RetryAfter is the Retry-After hint on shed requests; zero means 1s.
 	RetryAfter time.Duration
+	// Rebuild enables zero-downtime sample rebuilds (/admin/rebuild and
+	// AutoRebuild); the zero value disables them. See RebuildConfig.
+	Rebuild RebuildConfig
 }
 
-// Server routes HTTP requests to a core.System. All fields are read-only
-// after construction, so one Server safely backs concurrent requests.
+// Server routes HTTP requests to a core.System. Configuration fields are
+// read-only after construction; the only mutable state is the atomically
+// swapped Prepared set inside core.System and the healthState atomics, so
+// one Server safely backs concurrent requests even while a rebuild swaps
+// sample generations underneath them.
 type Server struct {
 	sys      *core.System
 	strategy string
 	cfg      Config
 	inflight chan struct{} // admission semaphore; nil = unlimited
+	health   healthState
 }
 
 // New returns a server answering queries with the named registered strategy,
@@ -145,9 +156,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /exact", s.admit(s.handleExact))
 	mux.HandleFunc("GET /columns", s.handleColumns)
 	mux.HandleFunc("GET /strategies", s.handleStrategies)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /admin/rebuild", s.handleRebuild)
 	return recoverPanics(mux)
 }
 
