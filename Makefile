@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet cover bench experiments experiments-quick examples faults fuzz fuzz-smoke clean
+.PHONY: all check build test vet cover bench experiments experiments-quick examples faults smoke fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -31,6 +31,11 @@ faults:
 	$(GO) test -race -timeout 180s \
 		-run 'Ctx|Cancel|Deadline|Degrade|Overload|Drain|Panic|Stuck|Robust|BadRequest|Malformed|Stress|WriteJSON|ExactParity|Snapshot|Catalog|Recovery|Rebuild|Swap|Healthz|Readyz|HostileLength' \
 		./internal/parallel ./internal/engine ./internal/core ./internal/server
+
+# End-to-end smoke test: boot aqpd, run an explain query over /v1, scrape
+# /metrics and /debug/slowlog, check the error envelope and request-id echo.
+smoke:
+	bash scripts/smoke.sh
 
 # Short mode skips the slowest end-to-end experiment tests.
 test-short:

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"dynsample/internal/obs"
+	"dynsample/internal/server"
+)
+
+// serveDebug runs the opt-in debug listener (-debug-addr): pprof profiles,
+// a second /metrics endpoint, and the slow-query log. It lives on its own
+// address so profiling and scraping can be firewalled away from the query
+// port, and its handlers are registered explicitly — nothing here touches
+// http.DefaultServeMux, so the import of net/http/pprof cannot leak
+// profiling endpoints onto the main listener.
+func serveDebug(ln net.Listener, websrv *server.Server) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", obs.Handler(obs.Default()))
+	mux.HandleFunc("GET /debug/slowlog", func(w http.ResponseWriter, _ *http.Request) {
+		// Same store and response shape as the main listener's
+		// /debug/slowlog, via the server's SlowLog accessor.
+		sl := websrv.SlowLog()
+		entries := sl.Slowest()
+		if entries == nil {
+			entries = []obs.SlowLogEntry{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.SlowLogResponse{Capacity: sl.Size(), Entries: entries})
+	})
+	// Profiling is best-effort; if the listener dies the query port is
+	// unaffected.
+	http.Serve(ln, mux)
+}

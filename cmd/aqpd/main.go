@@ -64,10 +64,12 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests after SIGINT/SIGTERM")
 		catalogDir   = flag.String("catalog-dir", "", "directory for the crash-safe snapshot catalog; samples are recovered from it at startup and every rebuild persists a new generation")
 		rebuildEvery = flag.Duration("rebuild-interval", 0, "rebuild the samples periodically, swapping each new generation in without downtime (0 disables; rebuilds are also available on demand via POST /admin/rebuild)")
+		debugAddr    = flag.String("debug-addr", "", "listen address for the debug server (pprof, /metrics, /debug/slowlog); empty disables it")
+		slowlogSize  = flag.Int("slowlog-size", 0, "how many of the slowest queries /debug/slowlog retains (0 = default)")
 	)
 	flag.Parse()
 	// Fail fast on invalid parameters — before paying for data generation.
-	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers, *queryTimeout, *maxInflight, *drainTimeout, *rebuildEvery); err != nil {
+	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers, *queryTimeout, *maxInflight, *drainTimeout, *rebuildEvery, *slowlogSize); err != nil {
 		fatal(err)
 	}
 
@@ -155,9 +157,11 @@ func main() {
 		preprocess(sys, strategy)
 	}
 
-	websrv := server.NewWithConfig(sys, "smallgroup", server.Config{
+	websrv := server.New(sys, server.Config{
+		Strategy:       "smallgroup",
 		DefaultTimeout: *queryTimeout,
 		MaxInflight:    *maxInflight,
+		SlowLogSize:    *slowlogSize,
 		Rebuild: server.RebuildConfig{
 			Strategy: strategy,
 			Catalog:  cat,
@@ -183,6 +187,14 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		go serveDebug(dln, websrv)
+		fmt.Fprintf(os.Stderr, "aqpd: debug server (pprof, /metrics, /debug/slowlog) on %s\n", dln.Addr())
+	}
 	if *rebuildEvery > 0 {
 		go websrv.AutoRebuild(ctx, *rebuildEvery)
 		fmt.Fprintf(os.Stderr, "aqpd: rebuilding samples every %v\n", *rebuildEvery)
@@ -227,7 +239,7 @@ func inflightLabel(n int) string {
 }
 
 // validateFlags rejects out-of-range parameters with actionable messages.
-func validateFlags(dbKind string, rate float64, rows int, z float64, workers int, queryTimeout time.Duration, maxInflight int, drainTimeout time.Duration, rebuildEvery time.Duration) error {
+func validateFlags(dbKind string, rate float64, rows int, z float64, workers int, queryTimeout time.Duration, maxInflight int, drainTimeout time.Duration, rebuildEvery time.Duration, slowlogSize int) error {
 	switch dbKind {
 	case "tpch", "sales":
 	default:
@@ -256,6 +268,9 @@ func validateFlags(dbKind string, rate float64, rows int, z float64, workers int
 	}
 	if rebuildEvery < 0 {
 		return fmt.Errorf("invalid -rebuild-interval %v: must be >= 0 (0 disables periodic rebuilds)", rebuildEvery)
+	}
+	if slowlogSize < 0 {
+		return fmt.Errorf("invalid -slowlog-size %d: must be >= 0 (0 means the default size)", slowlogSize)
 	}
 	return nil
 }

@@ -13,6 +13,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dynsample/internal/obs"
+)
+
+// Catalog instrumentation: durability operations are rare (one per rebuild
+// or startup), so counting them costs nothing and makes snapshot rot
+// visible on /metrics long before an operator reads the logs.
+var (
+	obsSaves = obs.Default().CounterVec("aqp_catalog_saves_total",
+		"Snapshot generations saved, by status.", "status")
+	obsLoads = obs.Default().CounterVec("aqp_catalog_snapshot_loads_total",
+		"Snapshot load attempts during recovery, by status (a skipped "+
+			"generation counts one error).", "status")
 )
 
 const (
@@ -139,8 +152,10 @@ func (c *Catalog) Save(payload func(io.Writer) error) (uint64, error) {
 		return WriteSnapshot(w, payload)
 	})
 	if err != nil {
+		obsSaves.With("error").Inc()
 		return 0, fmt.Errorf("catalog: saving generation %d: %w", next, err)
 	}
+	obsSaves.With("ok").Inc()
 	c.gen.Store(next)
 	c.prune()
 	if merr := c.writeManifest(); merr != nil {
@@ -178,9 +193,11 @@ func (c *Catalog) LoadLatest(decode func(io.Reader) error) (LoadResult, error) {
 		path := c.Path(gen)
 		err := readSnapshotFile(path, decode)
 		if err == nil {
+			obsLoads.With("ok").Inc()
 			res.Generation = gen
 			return res, nil
 		}
+		obsLoads.With("error").Inc()
 		res.Skipped = append(res.Skipped, SkippedSnapshot{Generation: gen, Path: path, Err: err})
 	}
 	if len(res.Skipped) == 0 {

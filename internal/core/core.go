@@ -237,10 +237,18 @@ func (s *System) ApproxCtx(ctx context.Context, strategy string, q *engine.Query
 	if err := q.Validate(s.db); err != nil {
 		return nil, err
 	}
+	var ans *Answer
+	var err error
 	if ca, ok := p.(ContextAnswerer); ok {
-		return ca.AnswerCtx(ctx, q)
+		ans, err = ca.AnswerCtx(ctx, q)
+	} else {
+		ans, err = p.Answer(q)
 	}
-	return p.Answer(q)
+	if err == nil {
+		obsAnswers.With(strategy).Inc()
+		obsSampleRows.Add(uint64(max(ans.RowsRead, 0)))
+	}
+	return ans, err
 }
 
 // Exact computes the exact answer by scanning the base data. It is ExactCtx

@@ -1,0 +1,18 @@
+package core
+
+import "dynsample/internal/obs"
+
+// Runtime-phase instrumentation: what dynamic sample selection chose and
+// what it cost, aggregated across queries. Per-query detail rides the
+// obs.Trace on the request context instead (see AnswerCtx).
+var (
+	obsAnswers = obs.Default().CounterVec("aqp_core_answers_total",
+		"Approximate answers produced, by strategy.", "strategy")
+	obsPlanSteps = obs.Default().Histogram("aqp_core_plan_steps",
+		"Rewrite steps (sample tables) per selected plan.",
+		[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32})
+	obsDegraded = obs.Default().Counter("aqp_core_degraded_total",
+		"Plans degraded to the overall sample under deadline pressure.")
+	obsSampleRows = obs.Default().Counter("aqp_core_sample_rows_scanned_total",
+		"Sample-table rows scanned by approximate answers.")
+)

@@ -9,6 +9,7 @@ import (
 	"dynsample/internal/bitmask"
 	"dynsample/internal/engine"
 	"dynsample/internal/faults"
+	"dynsample/internal/obs"
 	"dynsample/internal/parallel"
 	"dynsample/internal/stats"
 )
@@ -127,11 +128,30 @@ func (p *smallGroupPrepared) Answer(q *engine.Query) (*Answer, error) {
 // swapped for the cheaper overall-sample-only plan, flagged Answer.Degraded.
 func (p *smallGroupPrepared) AnswerCtx(ctx context.Context, q *engine.Query) (*Answer, error) {
 	start := time.Now()
+	tr := obs.TraceFrom(ctx)
+	var endStage func()
+	if tr != nil {
+		endStage = tr.StartStage("select")
+	}
 	plan := p.Plan(q)
 	plan, degraded := p.degradeForDeadline(ctx, q, plan)
+	obsPlanSteps.Observe(float64(len(plan.Steps)))
+	if degraded {
+		obsDegraded.Inc()
+	}
+	if tr != nil {
+		endStage()
+		tr.SetDegraded(degraded)
+		if n := p.db.NumRows(); n > 0 {
+			tr.SetSamplingFraction(float64(planRows(plan)) / float64(n))
+		}
+	}
 	combined, rowsRead, err := ExecutePlanCtx(ctx, plan)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		endStage = tr.StartStage("finalize")
 	}
 	// Mark exactness from the metadata: a group is exact when one of the
 	// used tables stores all of its rows undownsampled (§4.2.2: "answers for
@@ -149,6 +169,10 @@ func (p *smallGroupPrepared) AnswerCtx(ctx context.Context, q *engine.Query) (*A
 		Elapsed:   time.Since(start),
 		Rewrite:   plan,
 		Degraded:  degraded,
+	}
+	if tr != nil {
+		endStage()
+		tr.SetRowsRead(rowsRead)
 	}
 	return ans, nil
 }
@@ -241,10 +265,20 @@ func ExecutePlan(plan *RewritePlan) (*engine.Result, int64, error) {
 // a step (only ever seen with fault injection) is contained by the worker
 // pool and surfaces as an error, not a process crash.
 func ExecutePlanCtx(ctx context.Context, plan *RewritePlan) (*engine.Result, int64, error) {
+	tr := obs.TraceFrom(ctx)
+	var endStage func()
+	var stepObs []obs.SampleExec
+	if tr != nil {
+		endStage = tr.StartStage("execute")
+		// Each step writes its own slot, so the concurrent fan-out records
+		// without sharing; the slots are appended to the trace afterwards.
+		stepObs = make([]obs.SampleExec, len(plan.Steps))
+	}
 	partials := make([]*engine.Result, len(plan.Steps))
 	err := parallel.ForEachCtx(ctx, planTaskWorkers(plan), len(plan.Steps), func(i int) error {
 		faults.Fire(ctx, faults.PointPlanStep, i)
 		st := plan.Steps[i]
+		stepStart := time.Now()
 		res, err := engine.ExecuteCtx(ctx, st.Source, plan.Query, engine.ExecOptions{
 			Scale:       st.Scale,
 			ExcludeMask: st.Exclude,
@@ -254,11 +288,27 @@ func ExecutePlanCtx(ctx context.Context, plan *RewritePlan) (*engine.Result, int
 		if err != nil {
 			return err
 		}
+		if tr != nil {
+			stepObs[i] = obs.SampleExec{
+				Table:  st.Name,
+				Rows:   res.RowsScanned,
+				Shards: engine.ShardsFor(st.Source.NumRows()),
+				Scale:  st.Scale,
+				Micros: time.Since(stepStart).Microseconds(),
+			}
+		}
 		partials[i] = res
 		return nil
 	})
 	if err != nil {
 		return nil, 0, err
+	}
+	if tr != nil {
+		endStage()
+		for _, s := range stepObs {
+			tr.AddSample(s)
+		}
+		endStage = tr.StartStage("combine")
 	}
 	combined := engine.NewResult(plan.Query.GroupBy, plan.Query.Aggs)
 	var rowsRead int64
@@ -267,6 +317,9 @@ func ExecutePlanCtx(ctx context.Context, plan *RewritePlan) (*engine.Result, int
 		if err := combined.Merge(res); err != nil {
 			return nil, 0, err
 		}
+	}
+	if tr != nil {
+		endStage()
 	}
 	return combined, rowsRead, nil
 }

@@ -133,6 +133,7 @@ func ExecuteCtx(ctx context.Context, src Source, q *Query, opt ExecOptions) (*Re
 			}
 			scanRange(res, src, q, bound, opt, scale, sh.Lo, sh.Hi)
 		}
+		observeScan(res.RowsScanned, len(shards))
 		return res, nil
 	}
 
@@ -156,6 +157,7 @@ func ExecuteCtx(ctx context.Context, src Source, q *Query, opt ExecOptions) (*Re
 			return nil, err
 		}
 	}
+	observeScan(res.RowsScanned, len(shards))
 	return res, nil
 }
 

@@ -1,0 +1,33 @@
+package engine
+
+import "dynsample/internal/obs"
+
+// Scan-level instrumentation. Counters are bumped once per ExecuteCtx call —
+// never per row or per shard task — so the scan kernels stay untouched and
+// the cost is a handful of atomic adds per query.
+var (
+	obsScans = obs.Default().Counter("aqp_engine_scans_total",
+		"Source scans executed (one per rewrite step or exact query).")
+	obsScanRows = obs.Default().Counter("aqp_engine_rows_scanned_total",
+		"Rows scanned across all source scans.")
+	obsScanShards = obs.Default().Counter("aqp_engine_scan_shards_total",
+		"Partitioned-scan shards processed across all source scans.")
+)
+
+// observeScan records one completed scan.
+func observeScan(rows int64, shards int) {
+	obsScans.Inc()
+	if rows > 0 {
+		obsScanRows.Add(uint64(rows))
+	}
+	obsScanShards.Add(uint64(shards))
+}
+
+// ShardsFor reports how many partitioned-scan shards a source of n rows is
+// split into — the trace's per-step shard accounting.
+func ShardsFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + ScanShardRows - 1) / ScanShardRows
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "help")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	// Re-registration returns the same instrument.
+	if r.Counter("test_total", "help").Value() != 5 {
+		t.Fatal("re-registered counter lost its value")
+	}
+}
+
+func TestCounterVecSeriesAreIndependent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("reqs_total", "help", "status")
+	v.With("ok").Add(3)
+	v.With("error").Inc()
+	if v.With("ok").Value() != 3 || v.With("error").Value() != 1 {
+		t.Fatalf("series mixed: ok=%d error=%d", v.With("ok").Value(), v.With("error").Value())
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "help", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`, // 0.005 and the boundary value 0.01
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("aqp_test_queries_total", "Queries.", "endpoint", "status").With("query", "ok").Add(7)
+	r.Gauge("aqp_test_inflight", "In flight.").Set(2)
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if !strings.Contains(out, `aqp_test_queries_total{endpoint="query",status="ok"} 7`) {
+		t.Errorf("missing labelled counter line:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE aqp_test_queries_total counter") {
+		t.Errorf("missing TYPE line:\n%s", out)
+	}
+	// Every non-comment line parses as "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric sample value in %q", line)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "help", "q").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `q="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("conc_total", "help", "worker")
+	h := r.Histogram("conc_seconds", "help", nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := v.With(strconv.Itoa(w % 2))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if total := v.With("0").Value() + v.With("1").Value(); total != workers*per {
+		t.Fatalf("lost increments: %d", total)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}

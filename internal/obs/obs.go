@@ -1,0 +1,45 @@
+// Package obs is the stdlib-only observability layer: runtime metrics with
+// Prometheus text exposition, per-query traces, and a slow-query log.
+//
+// The paper's dynamic sample selection is a middleware whose value hinges on
+// knowing *which* samples were picked, how much data was scanned, and what
+// accuracy/latency that bought (§3 runtime phase, §5 evaluation). This
+// package provides the accounting: every layer of the system registers
+// counters, gauges and histograms in a shared Registry (Default), the HTTP
+// server threads a Trace through the runtime pipeline via the request
+// context, and the slowest queries are retained — with their traces — in a
+// fixed-size SlowLog.
+//
+// # Cost model
+//
+// Metrics are always on. An increment is one atomic add (plus one lock-free
+// map lookup for labelled series), so instrumentation sits comfortably off
+// the hot path: the per-row scan kernels are never touched — counters are
+// bumped once per scan, per plan step, or per request. Tracing is opt-in per
+// query: when no Trace rides the context, TraceFrom returns nil and every
+// instrumentation site reduces to a single context lookup.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// defaultRegistry is the process-wide metric registry. Packages register
+// their instruments here at init; the server exposes it at GET /metrics.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide Registry.
+func Default() *Registry { return defaultRegistry }
+
+// NewRequestID returns a fresh 16-hex-char request identifier, used when a
+// client did not supply an X-Request-ID header.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// fixed marker rather than panicking in a middleware.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSlowLogKeepsSlowest(t *testing.T) {
+	l := NewSlowLog(3)
+	for _, us := range []int64{10, 50, 20, 5, 100, 1} {
+		l.Observe(SlowLogEntry{SQL: "q", Micros: us})
+	}
+	got := l.Slowest()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []int64{100, 50, 20} {
+		if got[i].Micros != want {
+			t.Fatalf("entry %d = %dus, want %dus (%+v)", i, got[i].Micros, want, got)
+		}
+	}
+}
+
+func TestSlowLogDefaultSize(t *testing.T) {
+	l := NewSlowLog(0)
+	if l.Size() != DefaultSlowLogSize {
+		t.Fatalf("size = %d", l.Size())
+	}
+}
+
+func TestSlowLogConcurrentObserve(t *testing.T) {
+	l := NewSlowLog(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Observe(SlowLogEntry{Micros: int64(w*1000 + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := l.Slowest()
+	if len(got) != 8 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// The 8 slowest overall are 7199..7192, in descending order.
+	for i := 1; i < len(got); i++ {
+		if got[i].Micros > got[i-1].Micros {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+	if got[0].Micros != 7199 || got[7].Micros != 7192 {
+		t.Fatalf("wrong retained set: %v", got)
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Stage is one timed phase of the runtime pipeline: parse → select →
+// execute → combine → finalize → present. Offsets are relative to the
+// trace start so stages reconstruct the query's timeline.
+type Stage struct {
+	Name         string `json:"name"`
+	OffsetMicros int64  `json:"offset_micros"`
+	Micros       int64  `json:"micros"`
+}
+
+// SampleExec is the execution record of one rewrite step — one sample table
+// of the selected set. Together the entries answer "which small-group
+// tables answered my query, and what did each cost".
+type SampleExec struct {
+	// Table is the sample source name (e.g. "sg_s_region", "sg_overall").
+	Table string `json:"table"`
+	// Rows is the number of rows this step scanned.
+	Rows int64 `json:"rows"`
+	// Shards is the number of partitioned-scan shards the step was split into.
+	Shards int `json:"shards"`
+	// Scale is the aggregate scale factor (inverse sampling rate; 1 for
+	// small group tables, which are not downsampled).
+	Scale  float64 `json:"scale,omitempty"`
+	Micros int64   `json:"micros"`
+}
+
+// TraceData is the immutable snapshot of a finished (or in-progress) trace;
+// it is what /debug/slowlog stores and what an "explain": true response
+// embeds.
+type TraceData struct {
+	RequestID string `json:"request_id,omitempty"`
+	SQL       string `json:"sql,omitempty"`
+	Strategy  string `json:"strategy,omitempty"`
+	Start     string `json:"start,omitempty"` // RFC3339Nano
+	// Status is the terminal outcome: ok, bad_request, timeout, canceled,
+	// internal, shed.
+	Status string  `json:"status,omitempty"`
+	Stages []Stage `json:"stages"`
+	// Samples is the selected sample set with per-step execution cost; empty
+	// for exact queries.
+	Samples []SampleExec `json:"samples,omitempty"`
+	// SamplingFraction is the fraction of base-table rows the selected plan
+	// scans (selected sample rows / base rows).
+	SamplingFraction float64 `json:"sampling_fraction,omitempty"`
+	// Degraded is set when deadline pressure swapped the plan for the
+	// overall-sample-only fallback.
+	Degraded    bool  `json:"degraded,omitempty"`
+	RowsRead    int64 `json:"rows_read"`
+	TotalMicros int64 `json:"total_micros"`
+}
+
+// Trace accumulates the observability record of one query as it moves
+// through the pipeline. It is carried by the request context (WithTrace /
+// TraceFrom); instrumentation sites that find no trace pay one context
+// lookup and nothing else. Methods are safe for concurrent use — rewrite
+// steps fan out across goroutines and record their SampleExec concurrently.
+type Trace struct {
+	start time.Time
+	mu    sync.Mutex
+	data  TraceData
+}
+
+// NewTrace starts a trace for one query.
+func NewTrace(requestID, sql string) *Trace {
+	t := &Trace{start: time.Now()}
+	t.data.RequestID = requestID
+	t.data.SQL = sql
+	t.data.Start = t.start.UTC().Format(time.RFC3339Nano)
+	return t
+}
+
+func (t *Trace) lock()   { t.mu.Lock() }
+func (t *Trace) unlock() { t.mu.Unlock() }
+
+// StartStage begins a named stage and returns the function that ends it.
+// The usual shape is:
+//
+//	end := tr.StartStage("execute")
+//	... work ...
+//	end()
+func (t *Trace) StartStage(name string) (end func()) {
+	begin := time.Now()
+	return func() {
+		st := Stage{
+			Name:         name,
+			OffsetMicros: begin.Sub(t.start).Microseconds(),
+			Micros:       time.Since(begin).Microseconds(),
+		}
+		t.lock()
+		t.data.Stages = append(t.data.Stages, st)
+		t.unlock()
+	}
+}
+
+// AddSample records one rewrite step's execution.
+func (t *Trace) AddSample(s SampleExec) {
+	t.lock()
+	t.data.Samples = append(t.data.Samples, s)
+	t.unlock()
+}
+
+// SetSQL records the query text once it is known (after request decode).
+func (t *Trace) SetSQL(sql string) {
+	t.lock()
+	t.data.SQL = sql
+	t.unlock()
+}
+
+// SetStrategy records which strategy answered.
+func (t *Trace) SetStrategy(name string) {
+	t.lock()
+	t.data.Strategy = name
+	t.unlock()
+}
+
+// SetSamplingFraction records the selected plan's scan fraction.
+func (t *Trace) SetSamplingFraction(f float64) {
+	t.lock()
+	t.data.SamplingFraction = f
+	t.unlock()
+}
+
+// SetDegraded flags the deadline-pressure fallback.
+func (t *Trace) SetDegraded(d bool) {
+	t.lock()
+	t.data.Degraded = d
+	t.unlock()
+}
+
+// SetRowsRead records the total rows the query scanned.
+func (t *Trace) SetRowsRead(n int64) {
+	t.lock()
+	t.data.RowsRead = n
+	t.unlock()
+}
+
+// Finish stamps the terminal status and total duration and returns the
+// completed snapshot. Call it once, after the last stage ended.
+func (t *Trace) Finish(status string) TraceData {
+	t.lock()
+	t.data.Status = status
+	t.data.TotalMicros = time.Since(t.start).Microseconds()
+	d := t.snapshotLocked()
+	t.unlock()
+	return d
+}
+
+// Snapshot returns a copy of the trace so far.
+func (t *Trace) Snapshot() TraceData {
+	t.lock()
+	d := t.snapshotLocked()
+	t.unlock()
+	return d
+}
+
+func (t *Trace) snapshotLocked() TraceData {
+	d := t.data
+	d.Stages = append([]Stage(nil), t.data.Stages...)
+	d.Samples = append([]SampleExec(nil), t.data.Samples...)
+	return d
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to a context; the runtime pipeline picks it up
+// with TraceFrom at each stage boundary.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil when the query is untraced
+// (the no-overhead path).
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+type requestIDKey struct{}
+
+// WithRequestID attaches the request identifier to a context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the context's request identifier, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,28 @@
+package server
+
+import "dynsample/internal/obs"
+
+// Request-level instrumentation, recorded once per request in
+// reqTrack.finish (and once per shed in Server.shed) — the HTTP layer's
+// view of the metrics the lower layers break down further
+// (aqp_core_answers_total by strategy, aqp_engine_rows_scanned_total by
+// scan).
+var (
+	obsQueries = obs.Default().CounterVec("aqp_queries_total",
+		"Queries served, by endpoint, strategy and terminal status "+
+			"(ok, bad_request, timeout, canceled, shed, error).",
+		"endpoint", "strategy", "status")
+	obsLatency = obs.Default().HistogramVec("aqp_query_duration_seconds",
+		"End-to-end request latency (decode through response encode).",
+		obs.DefBuckets, "endpoint")
+	obsRowsScanned = obs.Default().CounterVec("aqp_rows_scanned_total",
+		"Rows scanned on behalf of served queries, by endpoint.", "endpoint")
+	obsInflight = obs.Default().Gauge("aqp_inflight_queries",
+		"Query and exact requests currently executing.")
+	obsShed = obs.Default().Counter("aqp_load_shed_total",
+		"Requests rejected at the admission gate with 503.")
+	obsTimeouts = obs.Default().Counter("aqp_query_timeouts_total",
+		"Requests that missed their deadline and returned 504.")
+	obsPanics = obs.Default().Counter("aqp_panics_recovered_total",
+		"Handler panics recovered to a 500 response.")
+)

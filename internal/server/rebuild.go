@@ -12,6 +12,20 @@ import (
 
 	"dynsample/internal/catalog"
 	"dynsample/internal/core"
+	"dynsample/internal/obs"
+)
+
+// Rebuild instrumentation: rebuilds are rare and expensive, so the metrics
+// focus on outcome and cost; aqp_sample_generation lets dashboards confirm
+// every replica converged on the same generation after a rollout.
+var (
+	obsRebuilds = obs.Default().CounterVec("aqp_rebuild_total",
+		"Sample rebuilds attempted, by status (ok, error, conflict).", "status")
+	obsRebuildDuration = obs.Default().Histogram("aqp_rebuild_duration_seconds",
+		"Pre-processing wall time of successful rebuilds.",
+		[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60, 300})
+	obsGeneration = obs.Default().Gauge("aqp_sample_generation",
+		"Sample generation currently serving queries.")
 )
 
 // Zero-downtime rebuild and health reporting. The sample family a server
@@ -40,7 +54,7 @@ type RebuildConfig struct {
 // another one is still running; rebuilds are single-flight.
 var ErrRebuildInProgress = errors.New("server: rebuild already in progress")
 
-// CodeRebuildInProgress is the ErrorResponse.Code for a rejected
+// CodeRebuildInProgress is the ErrorDetail.Code for a rejected
 // concurrent rebuild.
 const CodeRebuildInProgress = "rebuild_in_progress"
 
@@ -63,6 +77,7 @@ func (s *Server) MarkGeneration(gen uint64, source string) {
 	s.health.generation.Store(gen)
 	s.health.source.Store(&source)
 	s.health.lastRebuild.Store(time.Now().UnixNano())
+	obsGeneration.Set(float64(gen))
 }
 
 // RebuildStatus reports the outcome of one rebuild.
@@ -91,6 +106,7 @@ func (s *Server) Rebuild() (RebuildStatus, error) {
 		return st, errors.New("server: rebuild not configured")
 	}
 	if !s.health.rebuilding.CompareAndSwap(false, true) {
+		obsRebuilds.With("conflict").Inc()
 		return st, ErrRebuildInProgress
 	}
 	defer s.health.rebuilding.Store(false)
@@ -100,6 +116,7 @@ func (s *Server) Rebuild() (RebuildStatus, error) {
 	if err != nil {
 		msg := err.Error()
 		s.health.lastErr.Store(&msg)
+		obsRebuilds.With("error").Inc()
 		return st, fmt.Errorf("server: rebuild preprocess: %w", err)
 	}
 	if wc, ok := p.(core.WorkerConfigurable); ok && rb.Workers > 0 {
@@ -127,6 +144,9 @@ func (s *Server) Rebuild() (RebuildStatus, error) {
 	s.health.source.Store(&src)
 	s.health.lastRebuild.Store(time.Now().UnixNano())
 	s.health.lastErr.Store(nil)
+	obsRebuilds.With("ok").Inc()
+	obsRebuildDuration.Observe(time.Duration(st.ElapsedMS * int64(time.Millisecond)).Seconds())
+	obsGeneration.Set(float64(st.Generation))
 	return st, nil
 }
 
@@ -148,15 +168,16 @@ func (s *Server) AutoRebuild(ctx context.Context, interval time.Duration) {
 
 func (s *Server) handleRebuild(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Rebuild.Strategy == nil {
-		writeErr(w, http.StatusNotImplemented, errors.New("rebuild not configured (start the server with a strategy and catalog)"))
+		writeError(w, http.StatusNotImplemented, CodeUnimplemented,
+			errors.New("rebuild not configured (start the server with a strategy and catalog)"))
 		return
 	}
 	st, err := s.Rebuild()
 	switch {
 	case errors.Is(err, ErrRebuildInProgress):
-		writeErrCode(w, http.StatusConflict, CodeRebuildInProgress, err)
+		writeError(w, http.StatusConflict, CodeRebuildInProgress, err)
 	case err != nil:
-		writeErrCode(w, http.StatusInternalServerError, CodeInternal, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 	default:
 		writeJSON(w, st)
 	}

@@ -32,7 +32,7 @@ func rebuildFixture(t *testing.T) (*Server, *httptest.Server, *catalog.Catalog, 
 		Catalog:  cat,
 		Workers:  4,
 	}}
-	srv := NewWithConfig(sys, "smallgroup", cfg)
+	srv := New(sys, cfg)
 	srv.MarkGeneration(0, "preprocess")
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
@@ -116,7 +116,7 @@ func TestRebuildUnderLoadZeroFailures(t *testing.T) {
 	if err := coldSys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{BaseRate: 0.05, Seed: 1, Workers: 4})); err != nil {
 		t.Fatal(err)
 	}
-	coldSrv := httptest.NewServer(NewWithConfig(coldSys, "smallgroup", Config{}).Handler())
+	coldSrv := httptest.NewServer(New(coldSys, Config{}).Handler())
 	defer coldSrv.Close()
 	_, hotBody := post(t, hs, "/query", q)
 	_, coldBody := post(t, coldSrv, "/query", q)
@@ -141,7 +141,7 @@ func TestRebuildSingleFlight(t *testing.T) {
 		t.Fatalf("concurrent rebuild: %d %s", resp.StatusCode, body)
 	}
 	var er ErrorResponse
-	if err := json.Unmarshal(body, &er); err != nil || er.Code != CodeRebuildInProgress {
+	if err := json.Unmarshal(body, &er); err != nil || er.Error.Code != CodeRebuildInProgress {
 		t.Fatalf("error body = %s", body)
 	}
 	// Slot released: the next rebuild succeeds.
@@ -237,7 +237,7 @@ func TestReadyzNotReady(t *testing.T) {
 		fact.EndRow()
 	}
 	sys := core.NewSystem(engine.MustNewDatabase("d", fact))
-	hs := httptest.NewServer(New(sys, "smallgroup").Handler())
+	hs := httptest.NewServer(New(sys, Config{}).Handler())
 	defer hs.Close()
 	resp, err := http.Get(hs.URL + "/readyz")
 	if err != nil {

@@ -21,7 +21,7 @@ const testSQL = "SELECT region, COUNT(*) FROM T GROUP BY region"
 func robustServer(t *testing.T, sgCfg core.SmallGroupConfig, cfg Config) *httptest.Server {
 	t.Helper()
 	sys := testSystem(t, sgCfg)
-	srv := httptest.NewServer(NewWithConfig(sys, "smallgroup", cfg).Handler())
+	srv := httptest.NewServer(New(sys, cfg).Handler())
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -64,8 +64,8 @@ func TestBadRequestErrorPaths(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Fatalf("%s %s: status %d, want 400 (%s)", tc.name, path, resp.StatusCode, body)
 			}
-			if er := decodeErr(t, body); !strings.Contains(er.Error, tc.want) {
-				t.Errorf("%s %s: error %q does not mention %q", tc.name, path, er.Error, tc.want)
+			if er := decodeErr(t, body); !strings.Contains(er.Error.Message, tc.want) {
+				t.Errorf("%s %s: error %q does not mention %q", tc.name, path, er.Error.Message, tc.want)
 			}
 		}
 	}
@@ -87,8 +87,8 @@ func TestDeadlineExceededReturns504(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, body)
 	}
-	if er := decodeErr(t, body); er.Code != CodeDeadlineExceeded {
-		t.Errorf("code %q, want %q", er.Code, CodeDeadlineExceeded)
+	if er := decodeErr(t, body); er.Error.Code != CodeDeadlineExceeded {
+		t.Errorf("code %q, want %q", er.Error.Code, CodeDeadlineExceeded)
 	}
 	if elapsed >= stall {
 		t.Fatalf("504 took %v — deadline did not abort the stalled scan", elapsed)
@@ -150,8 +150,8 @@ func TestOverloadShed503(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra != "1" {
 		t.Errorf("Retry-After = %q, want \"1\"", ra)
 	}
-	if er := decodeErr(t, body); er.Code != CodeOverloaded {
-		t.Errorf("code %q, want %q", er.Code, CodeOverloaded)
+	if er := decodeErr(t, body); er.Error.Code != CodeOverloaded {
+		t.Errorf("code %q, want %q", er.Error.Code, CodeOverloaded)
 	}
 
 	close(release)
@@ -175,7 +175,7 @@ func TestHandlerPanicRecoveredTo500(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status %d, want 500 (%s)", resp.StatusCode, body)
 	}
-	if er := decodeErr(t, body); er.Code != CodeInternal || !strings.Contains(er.Error, "handler exploded") {
+	if er := decodeErr(t, body); er.Error.Code != CodeInternal || !strings.Contains(er.Error.Message, "handler exploded") {
 		t.Errorf("error = %+v, want internal code with panic detail", er)
 	}
 	// The process survived: the next request succeeds.
@@ -264,7 +264,7 @@ func TestWriteJSONEncodeFailureIsClean500(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status %d, want 500", rec.Code)
 	}
-	if er := decodeErr(t, rec.Body.Bytes()); er.Code != CodeInternal {
+	if er := decodeErr(t, rec.Body.Bytes()); er.Error.Code != CodeInternal {
 		t.Fatalf("body %q is not a structured internal error", rec.Body.String())
 	}
 }
@@ -275,7 +275,7 @@ func TestWriteJSONEncodeFailureIsClean500(t *testing.T) {
 func TestGracefulDrain(t *testing.T) {
 	t.Cleanup(faults.Reset)
 	sys := testSystem(t, core.SmallGroupConfig{Workers: 4})
-	srv := &http.Server{Handler: New(sys, "smallgroup").Handler()}
+	srv := &http.Server{Handler: New(sys, Config{}).Handler()}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -4,21 +4,37 @@
 // POST SQL; the server compiles it, answers from the pre-built samples, and
 // returns per-group estimates with confidence intervals and exactness flags.
 //
+// # API surface
+//
+// The stable client API is versioned under /v1 (POST /v1/query, POST
+// /v1/exact, GET /v1/columns, GET /v1/strategies, POST /v1/admin/rebuild);
+// the original unversioned paths remain as aliases answering identically.
+// Probes (GET /healthz, /readyz), telemetry (GET /metrics in Prometheus
+// text format, GET /debug/slowlog) and the error envelope are shared by
+// both. Every non-2xx response carries one JSON shape:
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": 1000}}
+//
+// with retry_after_ms present only on load-shedding 503s. Every response
+// echoes the request's X-Request-ID header (generating one when absent).
+//
 // # Concurrency
 //
 // The handler serves any number of /query, /exact and metadata requests in
 // parallel (net/http runs each request on its own goroutine). This is safe
-// because shared state is either immutable or swapped atomically: the base
-// database and every pre-built sample table never change once built, all
-// per-request state — the parsed statement, the rewrite plan, partial and
-// combined results, response buffers — lives on the request's own
-// goroutine, and the registered Prepared set sits behind an atomic pointer
-// in core.System. A rebuild (POST /admin/rebuild, or AutoRebuild on a
-// timer) pre-processes a fresh sample generation in the background, swaps
-// it in with core.SwapPrepared, and persists it to the sample catalog;
-// queries in flight during the swap finish on the generation they started
-// with. Set worker budgets (core.WorkerConfigurable) before calling
-// Handler; that mutation is not synchronised.
+// because shared state is either immutable, swapped atomically, or
+// internally synchronised: the base database and every pre-built sample
+// table never change once built, all per-request state — the parsed
+// statement, the rewrite plan, partial and combined results, response
+// buffers, the query trace — lives on the request's own goroutine (rewrite
+// steps record into the trace under its lock), and the registered Prepared
+// set sits behind an atomic pointer in core.System. A rebuild (POST
+// /admin/rebuild, or AutoRebuild on a timer) pre-processes a fresh sample
+// generation in the background, swaps it in with core.SwapPrepared, and
+// persists it to the sample catalog; queries in flight during the swap
+// finish on the generation they started with. Set worker budgets
+// (core.WorkerConfigurable) before calling Handler; that mutation is not
+// synchronised.
 //
 // Each request may itself fan out: with a worker budget configured
 // (SmallGroupConfig.Workers, or the -workers flag of aqpd), one query's
@@ -37,6 +53,14 @@
 // with 503 + Retry-After rather than queueing unboundedly, and a panicking
 // handler is recovered to a 500 without killing the process. See
 // ARCHITECTURE.md §6.
+//
+// # Observability
+//
+// Runtime metrics live in the process-wide obs registry and are served at
+// GET /metrics; every query carries an obs.Trace through the pipeline
+// (parse → select → execute → combine → finalize → present) which an
+// "explain": true request returns inline and GET /debug/slowlog retains for
+// the slowest queries. See ARCHITECTURE.md §8.
 package server
 
 import (
@@ -44,6 +68,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -52,12 +77,20 @@ import (
 	"dynsample/internal/core"
 	"dynsample/internal/engine"
 	"dynsample/internal/faults"
+	"dynsample/internal/obs"
 	"dynsample/internal/sqlparse"
 )
 
-// Config tunes the server's robustness behaviour. The zero value preserves
-// the permissive defaults: no deadline, no admission limit.
+// DefaultStrategy is the strategy a zero-value Config serves.
+const DefaultStrategy = "smallgroup"
+
+// Config tunes the server. The zero value serves the DefaultStrategy with
+// permissive robustness defaults: no deadline, no admission limit, a
+// DefaultSlowLogSize slow-query log.
 type Config struct {
+	// Strategy is the registered strategy name /query answers with. Empty
+	// means DefaultStrategy.
+	Strategy string
 	// DefaultTimeout bounds each /query and /exact unless the request
 	// carries its own timeout_ms. Zero means no default deadline.
 	DefaultTimeout time.Duration
@@ -67,45 +100,58 @@ type Config struct {
 	MaxInflight int
 	// RetryAfter is the Retry-After hint on shed requests; zero means 1s.
 	RetryAfter time.Duration
+	// SlowLogSize is how many of the slowest queries GET /debug/slowlog
+	// retains. Zero means obs.DefaultSlowLogSize.
+	SlowLogSize int
 	// Rebuild enables zero-downtime sample rebuilds (/admin/rebuild and
 	// AutoRebuild); the zero value disables them. See RebuildConfig.
 	Rebuild RebuildConfig
 }
 
 // Server routes HTTP requests to a core.System. Configuration fields are
-// read-only after construction; the only mutable state is the atomically
-// swapped Prepared set inside core.System and the healthState atomics, so
-// one Server safely backs concurrent requests even while a rebuild swaps
-// sample generations underneath them.
+// read-only after construction; the mutable state — the atomically swapped
+// Prepared set inside core.System, the healthState atomics, the slow-query
+// log — is synchronised, so one Server safely backs concurrent requests
+// even while a rebuild swaps sample generations underneath them.
 type Server struct {
 	sys      *core.System
 	strategy string
 	cfg      Config
 	inflight chan struct{} // admission semaphore; nil = unlimited
+	slowlog  *obs.SlowLog
 	health   healthState
 }
 
-// New returns a server answering queries with the named registered strategy,
-// with the zero Config. The system must be fully configured before the
-// returned server starts handling requests; see the package comment for the
-// concurrency contract.
-func New(sys *core.System, strategy string) *Server {
-	return NewWithConfig(sys, strategy, Config{})
-}
-
-// NewWithConfig is New with explicit deadline and admission settings.
-func NewWithConfig(sys *core.System, strategy string, cfg Config) *Server {
-	s := &Server{sys: sys, strategy: strategy, cfg: cfg}
+// New returns a server over sys. The zero Config is valid: it serves the
+// DefaultStrategy with no deadline and no admission limit. The system must
+// be fully configured before the returned server starts handling requests;
+// see the package comment for the concurrency contract.
+func New(sys *core.System, cfg Config) *Server {
+	if cfg.Strategy == "" {
+		cfg.Strategy = DefaultStrategy
+	}
+	s := &Server{
+		sys:      sys,
+		strategy: cfg.Strategy,
+		cfg:      cfg,
+		slowlog:  obs.NewSlowLog(cfg.SlowLogSize),
+	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
 	return s
 }
 
+// SlowLog exposes the server's slow-query log (the store behind GET
+// /debug/slowlog), so an operator CLI can mount it elsewhere.
+func (s *Server) SlowLog() *obs.SlowLog { return s.slowlog }
+
 // QueryRequest is the body of POST /query and POST /exact.
 type QueryRequest struct {
 	SQL string `json:"sql"`
-	// Explain additionally returns the rewritten UNION ALL sample query.
+	// Explain additionally returns the rewritten UNION ALL sample query and
+	// the full pipeline trace (per-stage timings, the selected sample set
+	// with per-table cost, sampling fraction, degradation).
 	Explain bool `json:"explain,omitempty"`
 	// TimeoutMS, when positive, overrides the server's default per-request
 	// deadline for this query. A missed deadline returns 504.
@@ -131,46 +177,109 @@ type QueryResponse struct {
 	// Degraded is set when deadline pressure made the strategy fall back to
 	// the uniform overall sample instead of its full rewrite.
 	Degraded bool `json:"degraded,omitempty"`
+	// Trace is the pipeline trace, returned when the request set
+	// "explain": true.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
-// ErrorResponse is returned with non-2xx statuses. Code is a stable
-// machine-readable discriminator (e.g. "deadline_exceeded", "overloaded");
-// Error is human-readable detail.
+// ErrorDetail is the payload of the error envelope: a stable
+// machine-readable code, human-readable detail, and — on load shedding —
+// the retry hint mirrored from the Retry-After header.
+type ErrorDetail struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorResponse is the one JSON shape every non-2xx response carries:
+// {"error":{"code":..., "message":..., "retry_after_ms":...}}.
 type ErrorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+	Error ErrorDetail `json:"error"`
 }
 
-// Error codes used in ErrorResponse.Code.
+// Error codes used in ErrorDetail.Code.
 const (
+	CodeBadRequest       = "bad_request"
+	CodeNotFound         = "not_found"
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeOverloaded       = "overloaded"
 	CodeInternal         = "internal"
+	CodeUnimplemented    = "unimplemented"
 )
 
-// Handler returns the HTTP routes, wrapped in the panic-recovery middleware;
-// /query and /exact additionally pass through admission control.
+// Handler returns the HTTP routes — the /v1 surface plus the legacy
+// unversioned aliases — wrapped in the request-ID and panic-recovery
+// middleware; /query and /exact additionally pass through admission
+// control.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.admit(s.handleQuery))
-	mux.HandleFunc("POST /exact", s.admit(s.handleExact))
-	mux.HandleFunc("GET /columns", s.handleColumns)
-	mux.HandleFunc("GET /strategies", s.handleStrategies)
+	// Versioned + legacy alias registration: both paths share one handler,
+	// so the pairs cannot drift apart.
+	versioned := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, h)
+		method, path, _ := strings.Cut(pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, h)
+	}
+	versioned("POST /query", s.admit("query", s.handleQuery))
+	versioned("POST /exact", s.admit("exact", s.handleExact))
+	versioned("GET /columns", s.handleColumns)
+	versioned("GET /strategies", s.handleStrategies)
+	versioned("POST /admin/rebuild", s.handleRebuild)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("POST /admin/rebuild", s.handleRebuild)
-	return recoverPanics(mux)
+	mux.Handle("GET /metrics", obs.Handler(obs.Default()))
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
+	// Catch-all so unknown paths get the error envelope, not a plain-text
+	// 404.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("no route for %s %s", r.Method, r.URL.Path))
+	})
+	return requestID(recoverPanics(mux))
+}
+
+// requestID accepts the client's X-Request-ID (or generates one), echoes it
+// on the response, and threads it through the context so traces, slow-log
+// entries and panic logs can correlate with client-side logs.
+func requestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		h.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+	})
+}
+
+// sanitizeRequestID bounds a client-supplied identifier: printable ASCII
+// only, at most 128 bytes, so a hostile header cannot inject into logs or
+// response headers.
+func sanitizeRequestID(id string) string {
+	if len(id) > 128 {
+		id = id[:128]
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x20 || id[i] > 0x7e {
+			return ""
+		}
+	}
+	return id
 }
 
 // recoverPanics converts a panic on the request goroutine into a 500 so one
-// poisoned request cannot take down the process. If the handler had already
-// written a response prefix the error body is appended to it — the client
-// sees a malformed payload, which is the best that can be done post-commit.
+// poisoned request cannot take down the process; the panic is counted and
+// logged with the request ID. If the handler had already written a response
+// prefix the error body is appended to it — the client sees a malformed
+// payload, which is the best that can be done post-commit.
 func recoverPanics(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
-				writeErrCode(w, http.StatusInternalServerError, CodeInternal,
+				obsPanics.Inc()
+				log.Printf("server: recovered panic (request_id=%s %s %s): %v",
+					obs.RequestIDFrom(r.Context()), r.Method, r.URL.Path, v)
+				writeError(w, http.StatusInternalServerError, CodeInternal,
 					fmt.Errorf("internal error: recovered panic: %v", v))
 			}
 		}()
@@ -181,55 +290,119 @@ func recoverPanics(h http.Handler) http.Handler {
 // admit applies the MaxInflight admission semaphore: requests beyond the cap
 // are shed immediately with 503 + Retry-After (load shedding beats unbounded
 // queueing — queued requests would miss their deadlines anyway and drag down
-// admitted ones). With no cap configured it is the identity.
-func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
-	if s.inflight == nil {
-		return h
-	}
+// admitted ones). Admitted requests are counted by the in-flight gauge.
+func (s *Server) admit(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
-			h(w, r)
-		default:
-			retry := s.cfg.RetryAfter
-			if retry <= 0 {
-				retry = time.Second
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.shed(w, endpoint)
+				return
 			}
-			secs := int(retry.Round(time.Second) / time.Second)
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeErrCode(w, http.StatusServiceUnavailable, CodeOverloaded,
-				fmt.Errorf("server at max in-flight queries (%d); retry after %ds", s.cfg.MaxInflight, secs))
 		}
+		obsInflight.Add(1)
+		defer obsInflight.Add(-1)
+		h(w, r)
 	}
 }
 
-func (s *Server) compile(w http.ResponseWriter, r *http.Request) (*sqlparse.Compiled, *QueryRequest, bool) {
+// shed rejects one request at the admission gate with 503 + Retry-After.
+func (s *Server) shed(w http.ResponseWriter, endpoint string) {
+	obsShed.Inc()
+	obsQueries.With(endpoint, s.strategy, "shed").Inc()
+	retry := s.cfg.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	secs := int(retry.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErrorRetry(w, http.StatusServiceUnavailable, CodeOverloaded, int64(secs)*1000,
+		fmt.Errorf("server at max in-flight queries (%d); retry after %ds", s.cfg.MaxInflight, secs))
+}
+
+// reqTrack carries the observability record of one /query or /exact request
+// from first byte to response: the pipeline trace plus the terminal status
+// and row accounting the metrics and slow log need.
+type reqTrack struct {
+	s        *Server
+	endpoint string
+	start    time.Time
+	trace    *obs.Trace
+	status   string
+	rowsRead int64
+}
+
+// begin starts tracking one request. The trace is attached to the execution
+// context by the handler so every pipeline layer below records into it.
+func (s *Server) begin(r *http.Request, endpoint string) *reqTrack {
+	rt := &reqTrack{
+		s:        s,
+		endpoint: endpoint,
+		start:    time.Now(),
+		trace:    obs.NewTrace(obs.RequestIDFrom(r.Context()), ""),
+		status:   "internal",
+	}
+	return rt
+}
+
+// finish closes the trace with the terminal status, records the request's
+// metrics, offers the query to the slow log, and returns the completed
+// trace snapshot for an explain response. Call exactly once per request.
+func (rt *reqTrack) finish() obs.TraceData {
+	data := rt.trace.Finish(rt.status)
+	elapsed := time.Since(rt.start)
+	obsQueries.With(rt.endpoint, rt.s.strategy, rt.status).Inc()
+	obsLatency.With(rt.endpoint).Observe(elapsed.Seconds())
+	if rt.rowsRead > 0 {
+		obsRowsScanned.With(rt.endpoint).Add(uint64(rt.rowsRead))
+	}
+	if rt.status == "timeout" {
+		obsTimeouts.Inc()
+	}
+	if data.SQL != "" { // never log requests that failed before decoding
+		rt.s.slowlog.Observe(obs.SlowLogEntry{
+			Time:      rt.start,
+			RequestID: data.RequestID,
+			SQL:       data.SQL,
+			Status:    rt.status,
+			Micros:    data.TotalMicros,
+			Trace:     data,
+		})
+	}
+	return data
+}
+
+func (s *Server) compile(rt *reqTrack, w http.ResponseWriter, r *http.Request) (*sqlparse.Compiled, *QueryRequest, bool) {
+	endStage := rt.trace.StartStage("parse")
+	defer endStage()
+	bad := func(err error) (*sqlparse.Compiled, *QueryRequest, bool) {
+		rt.status = "bad_request"
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return nil, nil, false
+	}
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return nil, nil, false
+		return bad(fmt.Errorf("bad request body: %w", err))
 	}
+	rt.trace.SetSQL(req.SQL)
 	if req.TimeoutMS < 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid timeout_ms %d: must be >= 0", req.TimeoutMS))
-		return nil, nil, false
+		return bad(fmt.Errorf("invalid timeout_ms %d: must be >= 0", req.TimeoutMS))
 	}
 	if strings.TrimSpace(req.SQL) == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty sql"))
-		return nil, nil, false
+		return bad(fmt.Errorf("empty sql"))
 	}
 	stmt, err := sqlparse.Parse(strings.TrimSuffix(strings.TrimSpace(req.SQL), ";"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return nil, nil, false
+		return bad(err)
 	}
 	compiled, err := sqlparse.Compile(stmt, s.sys.DB())
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return nil, nil, false
+		return bad(err)
 	}
 	return compiled, &req, true
 }
@@ -250,40 +423,46 @@ func (s *Server) queryContext(r *http.Request, req *QueryRequest) (context.Conte
 
 // writeExecErr maps an execution error to a status: 504 for a missed
 // deadline, nothing at all for a vanished client (the connection is gone;
-// any body would be discarded), 500 otherwise.
-func writeExecErr(w http.ResponseWriter, r *http.Request, err error) {
+// any body would be discarded), 500 otherwise. It returns the terminal
+// status label for the request's metrics.
+func writeExecErr(w http.ResponseWriter, r *http.Request, err error) (status string) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeErrCode(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+		writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
 			fmt.Errorf("query deadline exceeded: %w", err))
+		return "timeout"
 	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
 		// Client went away; nothing useful to write.
+		return "canceled"
 	default:
-		writeErrCode(w, http.StatusInternalServerError, CodeInternal, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		return "error"
 	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	faults.Fire(r.Context(), faults.PointHandler, 0)
-	compiled, req, ok := s.compile(w, r)
+	rt := s.begin(r, "query")
+	rt.trace.SetStrategy(s.strategy)
+	compiled, req, ok := s.compile(rt, w, r)
 	if !ok {
+		rt.finish()
 		return
 	}
 	ctx, cancel := s.queryContext(r, req)
 	defer cancel()
-	ans, err := s.sys.ApproxCtx(ctx, s.strategy, compiled.Query)
+	ans, err := s.sys.ApproxCtx(obs.WithTrace(ctx, rt.trace), s.strategy, compiled.Query)
 	if err != nil {
-		writeExecErr(w, r, err)
+		rt.status = writeExecErr(w, r, err)
+		rt.finish()
 		return
 	}
+	endStage := rt.trace.StartStage("present")
 	resp := QueryResponse{
 		Columns:   outputNames(compiled),
 		RowsRead:  ans.RowsRead,
 		ElapsedUS: ans.Elapsed.Microseconds(),
 		Degraded:  ans.Degraded,
-	}
-	if req.Explain && ans.Rewrite != nil {
-		resp.Rewrite = ans.Rewrite.SQL()
 	}
 	for _, g := range compiled.Present(ans.Result) {
 		key := engine.EncodeKey(g.Key)
@@ -308,24 +487,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Groups = append(resp.Groups, gj)
 	}
+	endStage()
+	rt.status, rt.rowsRead = "ok", ans.RowsRead
+	trace := rt.finish()
+	if req.Explain {
+		if ans.Rewrite != nil {
+			resp.Rewrite = ans.Rewrite.SQL()
+		}
+		resp.Trace = &trace
+	}
 	writeJSON(w, resp)
 }
 
 func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
-	compiled, req, ok := s.compile(w, r)
+	rt := s.begin(r, "exact")
+	rt.trace.SetStrategy("exact")
+	compiled, req, ok := s.compile(rt, w, r)
 	if !ok {
+		rt.finish()
 		return
 	}
 	ctx, cancel := s.queryContext(r, req)
 	defer cancel()
+	endStage := rt.trace.StartStage("execute")
 	res, elapsed, err := s.sys.ExactCtx(ctx, compiled.Query)
+	endStage()
 	if err != nil {
-		writeExecErr(w, r, err)
+		rt.status = writeExecErr(w, r, err)
+		rt.finish()
 		return
 	}
 	// Mirror /query: RowsRead from the engine result and elapsed measured
 	// around engine execution only, so the two endpoints' numbers are
 	// directly comparable in speedup tables.
+	endStage = rt.trace.StartStage("present")
 	resp := QueryResponse{
 		Columns:   outputNames(compiled),
 		RowsRead:  res.RowsScanned,
@@ -350,6 +545,13 @@ func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Groups = append(resp.Groups, gj)
 	}
+	endStage()
+	rt.status, rt.rowsRead = "ok", res.RowsScanned
+	rt.trace.SetRowsRead(res.RowsScanned)
+	trace := rt.finish()
+	if req.Explain {
+		resp.Trace = &trace
+	}
 	writeJSON(w, resp)
 }
 
@@ -363,6 +565,23 @@ func (s *Server) handleColumns(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStrategies(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"strategies": s.sys.Strategies(), "active": s.strategy})
+}
+
+// SlowLogResponse is the body of GET /debug/slowlog.
+type SlowLogResponse struct {
+	// Capacity is how many entries the log retains.
+	Capacity int `json:"capacity"`
+	// Entries are the slowest queries seen so far, slowest first, each with
+	// its full pipeline trace.
+	Entries []obs.SlowLogEntry `json:"entries"`
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	entries := s.slowlog.Slowest()
+	if entries == nil {
+		entries = []obs.SlowLogEntry{}
+	}
+	writeJSON(w, SlowLogResponse{Capacity: s.slowlog.Size(), Entries: entries})
 }
 
 func outputNames(c *sqlparse.Compiled) []string {
@@ -379,19 +598,24 @@ func outputNames(c *sqlparse.Compiled) []string {
 func writeJSON(w http.ResponseWriter, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		writeErrCode(w, http.StatusInternalServerError, CodeInternal, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(b, '\n'))
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeErrCode(w, code, "", err)
+// writeError emits the error envelope with the given status and code.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeErrorRetry(w, status, code, 0, err)
 }
 
-func writeErrCode(w http.ResponseWriter, status int, code string, err error) {
+func writeErrorRetry(w http.ResponseWriter, status int, code string, retryAfterMS int64, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Code: code})
+	json.NewEncoder(w).Encode(ErrorResponse{Error: ErrorDetail{
+		Code:         code,
+		Message:      err.Error(),
+		RetryAfterMS: retryAfterMS,
+	}})
 }

@@ -44,7 +44,7 @@ func testServer(t *testing.T) *httptest.Server {
 	// Workers > 1 so every request exercises the parallel execution layer
 	// (step fan-out + partitioned scans) — especially under -race.
 	sys := testSystem(t, core.SmallGroupConfig{Workers: 4})
-	srv := httptest.NewServer(New(sys, "smallgroup").Handler())
+	srv := httptest.NewServer(New(sys, Config{}).Handler())
 	t.Cleanup(srv.Close)
 	return srv
 }

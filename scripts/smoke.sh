@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# End-to-end smoke test: boot aqpd on a small sales database, run an explain
+# query through the /v1 surface, and verify the observability endpoints
+# (/metrics exposition, /debug/slowlog, X-Request-ID echo). Used by CI after
+# the unit suites; needs only bash, curl and the go toolchain.
+set -euo pipefail
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+SQL='SELECT store_region, COUNT(*) FROM T GROUP BY store_region'
+
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+echo "smoke: building aqpd..."
+go build -o /tmp/aqpd-smoke ./cmd/aqpd
+
+/tmp/aqpd-smoke -db sales -rows 50000 -rate 0.02 -addr "$ADDR" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+echo "smoke: waiting for readiness..."
+for i in $(seq 1 50); do
+  if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then break; fi
+  kill -0 "$PID" 2>/dev/null || fail "aqpd exited during startup"
+  sleep 0.2
+  [ "$i" = 50 ] && fail "server not ready after 10s"
+done
+
+echo "smoke: explain query via /v1..."
+RESP=$(curl -fsS -H 'X-Request-ID: smoke-run-1' -D /tmp/smoke-headers \
+  "$BASE/v1/query" -d "{\"sql\":\"$SQL\",\"explain\":true}")
+echo "$RESP" | grep -q '"groups"'            || fail "no groups in response: $RESP"
+echo "$RESP" | grep -q '"trace"'             || fail "explain returned no trace: $RESP"
+echo "$RESP" | grep -q '"samples"'           || fail "trace has no sample set: $RESP"
+echo "$RESP" | grep -q '"name":"execute"'    || fail "trace has no execute stage: $RESP"
+grep -qi 'x-request-id: smoke-run-1' /tmp/smoke-headers || fail "request id not echoed"
+
+echo "smoke: legacy alias answers..."
+curl -fsS "$BASE/query" -d "{\"sql\":\"$SQL\"}" | grep -q '"groups"' \
+  || fail "legacy /query alias broken"
+
+echo "smoke: error envelope..."
+curl -sS "$BASE/v1/query" -d '{"sql":"NOT SQL"}' | grep -q '"error":{"code":"bad_request"' \
+  || fail "400 does not carry the error envelope"
+
+echo "smoke: scraping /metrics..."
+METRICS=$(curl -fsS "$BASE/metrics")
+SERIES=$(echo "$METRICS" | grep -c '^# TYPE ')
+[ "$SERIES" -ge 12 ] || fail "only $SERIES metric families, want >= 12"
+echo "$METRICS" | grep -q 'aqp_queries_total{endpoint="query",strategy="smallgroup",status="ok"}' \
+  || fail "query counter missing from /metrics"
+echo "$METRICS" | grep -q 'aqp_engine_rows_scanned_total' \
+  || fail "engine rows counter missing from /metrics"
+
+echo "smoke: /debug/slowlog..."
+curl -fsS "$BASE/debug/slowlog" | grep -q '"entries":\[{' \
+  || fail "slow log has no entries"
+
+echo "smoke: OK ($SERIES metric families)"
