@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet cover bench experiments experiments-quick examples faults smoke fuzz fuzz-smoke clean
+.PHONY: all check build test vet cover bench bench-json experiments experiments-quick examples faults smoke fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -23,17 +23,21 @@ test:
 
 # Fault-injection and stress tests: deterministic timeout / cancellation /
 # overload / drain / panic-recovery scenarios, the concurrent-query stress
-# test, and the crash/corruption recovery suite (snapshot truncation and
+# test, the crash/corruption recovery suite (snapshot truncation and
 # bit-flip detection, catalog generation fallback, zero-downtime rebuild
-# swaps), all under the race detector.
+# swaps), and the ingestion suite (torn-WAL crash recovery, fsync failure,
+# backpressure, drift-triggered rebuild, ingest+query+rebuild stress), all
+# under the race detector.
 faults:
 	$(GO) test -race -timeout 120s ./internal/faults ./internal/catalog
+	$(GO) test -race -timeout 180s ./internal/ingest
 	$(GO) test -race -timeout 180s \
-		-run 'Ctx|Cancel|Deadline|Degrade|Overload|Drain|Panic|Stuck|Robust|BadRequest|Malformed|Stress|WriteJSON|ExactParity|Snapshot|Catalog|Recovery|Rebuild|Swap|Healthz|Readyz|HostileLength' \
+		-run 'Ctx|Cancel|Deadline|Degrade|Overload|Drain|Panic|Stuck|Robust|BadRequest|Malformed|Stress|WriteJSON|ExactParity|Snapshot|Catalog|Recovery|Rebuild|Swap|Healthz|Readyz|HostileLength|Ingest|WAL' \
 		./internal/parallel ./internal/engine ./internal/core ./internal/server
 
 # End-to-end smoke test: boot aqpd, run an explain query over /v1, scrape
-# /metrics and /debug/slowlog, check the error envelope and request-id echo.
+# /metrics and /debug/slowlog, check the error envelope and request-id echo,
+# then ingest rows through aqpcli, kill -9 the server and verify WAL replay.
 smoke:
 	bash scripts/smoke.sh
 
@@ -46,6 +50,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Ingest- and query-path benchmarks with machine-readable JSON output
+# (BENCH_ingest.json / BENCH_query.json) for commit-to-commit comparison.
+bench-json:
+	bash scripts/bench.sh
 
 # Regenerate every paper figure at full scale (~10 min, single core).
 experiments:
@@ -64,10 +73,12 @@ examples:
 fuzz:
 	$(GO) test ./internal/sqlparse -fuzz FuzzParse -fuzztime 30s
 
-# Quick fuzz pass over the sample-store loader: arbitrary bytes (including
-# bit-flipped valid snapshots) must produce errors, never panics.
+# Quick fuzz pass over the sample-store loader and the WAL record decoder:
+# arbitrary bytes (including bit-flipped valid inputs) must produce errors,
+# never panics.
 fuzz-smoke:
 	$(GO) test ./internal/core -run FuzzLoadSmallGroup -fuzz FuzzLoadSmallGroup -fuzztime 15s
+	$(GO) test ./internal/ingest -run FuzzWALDecode -fuzz FuzzWALDecode -fuzztime 15s
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// runIngest is the `aqpcli ingest` subcommand: stream CSV rows (a file or
+// stdin) to a running aqpd's POST /v1/ingest in batches. The server's
+// /v1/columns metadata supplies the column order and types, so plain CSV
+// cells are encoded as the right JSON types. Each batch carries a derived
+// idempotency id, and 503 backpressure is retried with the same id — safe to
+// re-run after a partial failure.
+func runIngest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "http://localhost:8080", "aqpd base URL")
+		file      = fs.String("file", "-", "CSV file of rows to append (\"-\" = stdin); columns in the view's order, no header unless -header")
+		header    = fs.Bool("header", false, "skip the first CSV line (a header row)")
+		batchSize = fs.Int("batch-size", 500, "rows per ingest batch")
+		idPrefix  = fs.String("id-prefix", "", "idempotency id prefix for batches (default: derived from the file name and start time)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: aqpcli ingest [-addr URL] [-file rows.csv] [-header] [-batch-size N]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *batchSize < 1 {
+		fatal(fmt.Errorf("invalid -batch-size %d: need at least 1 row per batch", *batchSize))
+	}
+
+	cols, types, err := fetchSchema(*addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in, name = f, *file
+	}
+	if *idPrefix == "" {
+		*idPrefix = fmt.Sprintf("%s-%d", name, time.Now().UnixNano())
+	}
+
+	r := csv.NewReader(in)
+	r.FieldsPerRecord = len(cols)
+	if *header {
+		if _, err := r.Read(); err != nil {
+			fatal(fmt.Errorf("reading header: %w", err))
+		}
+	}
+
+	var (
+		batch   [][]json.RawMessage
+		batchNo int
+		total   int
+		start   = time.Now()
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		id := fmt.Sprintf("%s-%d", *idPrefix, batchNo)
+		if err := postBatch(*addr, id, cols, batch); err != nil {
+			return err
+		}
+		total += len(batch)
+		batchNo++
+		batch = batch[:0]
+		return nil
+	}
+	for line := 1; ; line++ {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		row := make([]json.RawMessage, len(cols))
+		for i, cell := range rec {
+			enc, err := encodeCSVCell(types[cols[i]], cell)
+			if err != nil {
+				fatal(fmt.Errorf("line %d, column %q: %w", line, cols[i], err))
+			}
+			row[i] = enc
+		}
+		batch = append(batch, row)
+		if len(batch) >= *batchSize {
+			if err := flush(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "ingested %d rows in %d batches in %v (%.0f rows/sec)\n",
+		total, batchNo, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+}
+
+// fetchSchema reads the view's column order and types from GET /v1/columns.
+func fetchSchema(addr string) ([]string, map[string]string, error) {
+	resp, err := http.Get(strings.TrimRight(addr, "/") + "/v1/columns")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, nil, fmt.Errorf("GET /v1/columns: %s: %s", resp.Status, body)
+	}
+	var meta struct {
+		Columns []string          `json:"columns"`
+		Types   map[string]string `json:"types"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return nil, nil, err
+	}
+	if len(meta.Columns) == 0 {
+		return nil, nil, fmt.Errorf("server reported no columns")
+	}
+	return meta.Columns, meta.Types, nil
+}
+
+// encodeCSVCell turns one CSV cell into the JSON value the ingest endpoint
+// expects for the column's type.
+func encodeCSVCell(typ, cell string) (json.RawMessage, error) {
+	switch typ {
+	case "INT":
+		if _, err := strconv.ParseInt(strings.TrimSpace(cell), 10, 64); err != nil {
+			return nil, fmt.Errorf("want an integer, got %q", cell)
+		}
+		return json.RawMessage(strings.TrimSpace(cell)), nil
+	case "FLOAT":
+		if _, err := strconv.ParseFloat(strings.TrimSpace(cell), 64); err != nil {
+			return nil, fmt.Errorf("want a number, got %q", cell)
+		}
+		return json.RawMessage(strings.TrimSpace(cell)), nil
+	default: // VARCHAR, or unknown types default to string
+		return json.Marshal(cell)
+	}
+}
+
+// postBatch sends one batch, retrying 503 backpressure with the same
+// idempotency id (the server deduplicates, so a retry after an ambiguous
+// failure cannot double-append).
+func postBatch(addr, id string, cols []string, rows [][]json.RawMessage) error {
+	body, err := json.Marshal(map[string]any{
+		"columns":  cols,
+		"rows":     rows,
+		"batch_id": id,
+	})
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(strings.TrimRight(addr, "/")+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusServiceUnavailable && attempt < 10:
+			retry := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					retry = time.Duration(secs) * time.Second
+				}
+			}
+			time.Sleep(retry)
+		default:
+			return fmt.Errorf("POST /v1/ingest (batch %s): %s: %s", id, resp.Status, out)
+		}
+	}
+}

@@ -11,6 +11,11 @@
 //	> \explain SELECT o_clerk, COUNT(*) FROM T GROUP BY o_clerk;
 //	> \exact   SELECT p_brand, SUM(l_extendedprice) FROM T GROUP BY p_brand;
 //	> \quit
+//
+// The `ingest` subcommand instead acts as a client for a running aqpd,
+// streaming CSV rows to POST /v1/ingest in idempotent batches:
+//
+//	aqpcli ingest -addr http://localhost:8080 -file new_rows.csv -batch-size 500
 package main
 
 import (
@@ -36,6 +41,11 @@ import (
 )
 
 func main() {
+	// Subcommands run against a live aqpd instead of building a local system.
+	if len(os.Args) > 1 && os.Args[1] == "ingest" {
+		runIngest(os.Args[2:])
+		return
+	}
 	var (
 		dbKind   = flag.String("db", "tpch", "database: tpch or sales")
 		load     = flag.String("load", "", "load a single-table database from a CSV file instead of generating one")

@@ -24,6 +24,15 @@
 // pre-processing in the background and swaps the new generation in without
 // dropping a single query.
 //
+// Live ingestion: with -wal-dir the server accepts POST /v1/ingest (batched
+// row appends). Each batch is fsynced to a checksummed write-ahead log before
+// it is acknowledged, then folded into the serving samples online (continued
+// reservoir sampling plus direct small-group inserts), so answers stay
+// statistically valid without a rebuild per batch. On restart the WAL is
+// replayed over the regenerated base data before the listener opens. When the
+// common-set drift gauge crosses -drift-bound, a background rebuild re-derives
+// the sample family and swaps it in without downtime.
+//
 // Flags are validated before the database is generated, so a bad value fails
 // in milliseconds instead of after minutes of data generation.
 package main
@@ -45,6 +54,7 @@ import (
 	"dynsample/internal/core"
 	"dynsample/internal/datagen"
 	"dynsample/internal/engine"
+	"dynsample/internal/ingest"
 	"dynsample/internal/parallel"
 	"dynsample/internal/server"
 )
@@ -66,10 +76,13 @@ func main() {
 		rebuildEvery = flag.Duration("rebuild-interval", 0, "rebuild the samples periodically, swapping each new generation in without downtime (0 disables; rebuilds are also available on demand via POST /admin/rebuild)")
 		debugAddr    = flag.String("debug-addr", "", "listen address for the debug server (pprof, /metrics, /debug/slowlog); empty disables it")
 		slowlogSize  = flag.Int("slowlog-size", 0, "how many of the slowest queries /debug/slowlog retains (0 = default)")
+		walDir       = flag.String("wal-dir", "", "directory for the ingestion write-ahead log; enables POST /v1/ingest, and durable batches found there are replayed at startup")
+		driftBound   = flag.Float64("drift-bound", 1.0, "common-set drift level that triggers a background sample rebuild (negative disables the trigger)")
+		maxPending   = flag.Int("max-pending", 0, "max concurrently admitted ingest batches; excess is rejected with 503 + Retry-After (0 = default 64)")
 	)
 	flag.Parse()
 	// Fail fast on invalid parameters — before paying for data generation.
-	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers, *queryTimeout, *maxInflight, *drainTimeout, *rebuildEvery, *slowlogSize); err != nil {
+	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers, *queryTimeout, *maxInflight, *drainTimeout, *rebuildEvery, *slowlogSize, *maxPending); err != nil {
 		fatal(err)
 	}
 
@@ -157,6 +170,42 @@ func main() {
 		preprocess(sys, strategy)
 	}
 
+	// Live ingestion: open the WAL, attach the coordinator to the prepared
+	// samples, and replay every durable batch onto the regenerated base
+	// before the listener accepts a single request. The reservoir seed must
+	// be stable across restarts so replay reproduces the sample family
+	// bit-identically; SmallGroupFraction is supplied explicitly because
+	// snapshot-restored states do not carry it.
+	var coord *ingest.Coordinator
+	if *walDir != "" {
+		w, err := ingest.OpenWAL(*walDir)
+		if err != nil {
+			fatal(err)
+		}
+		coord, err = ingest.New(sys, w, ingest.Config{
+			Online: core.OnlineConfig{
+				Seed:               *seed,
+				SmallGroupFraction: 0.5 * *rate,
+			},
+			MaxPending: *maxPending,
+			DriftBound: *driftBound,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		batches, torn, err := coord.ReplayWAL()
+		if err != nil {
+			fatal(fmt.Errorf("wal replay: %w", err))
+		}
+		if torn {
+			fmt.Fprintf(os.Stderr, "aqpd: wal had a torn tail (crash mid-append); it was discarded\n")
+		}
+		if batches > 0 {
+			fmt.Fprintf(os.Stderr, "aqpd: replayed %d ingest batches from %s (generation %d)\n",
+				batches, *walDir, coord.Generation())
+		}
+	}
+
 	websrv := server.New(sys, server.Config{
 		Strategy:       "smallgroup",
 		DefaultTimeout: *queryTimeout,
@@ -167,6 +216,7 @@ func main() {
 			Catalog:  cat,
 			Workers:  *workers,
 		},
+		Ingest: coord,
 	})
 	websrv.MarkGeneration(gen, source)
 	srv := &http.Server{
@@ -239,7 +289,7 @@ func inflightLabel(n int) string {
 }
 
 // validateFlags rejects out-of-range parameters with actionable messages.
-func validateFlags(dbKind string, rate float64, rows int, z float64, workers int, queryTimeout time.Duration, maxInflight int, drainTimeout time.Duration, rebuildEvery time.Duration, slowlogSize int) error {
+func validateFlags(dbKind string, rate float64, rows int, z float64, workers int, queryTimeout time.Duration, maxInflight int, drainTimeout time.Duration, rebuildEvery time.Duration, slowlogSize int, maxPending int) error {
 	switch dbKind {
 	case "tpch", "sales":
 	default:
@@ -271,6 +321,9 @@ func validateFlags(dbKind string, rate float64, rows int, z float64, workers int
 	}
 	if slowlogSize < 0 {
 		return fmt.Errorf("invalid -slowlog-size %d: must be >= 0 (0 means the default size)", slowlogSize)
+	}
+	if maxPending < 0 {
+		return fmt.Errorf("invalid -max-pending %d: must be >= 0 (0 means the default)", maxPending)
 	}
 	return nil
 }

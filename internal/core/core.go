@@ -113,10 +113,21 @@ func (a *Answer) Interval(key engine.GroupKey, agg int) stats.Interval {
 // blocks or tears a concurrent Answer. Writers (AddStrategy, AddPrepared,
 // SwapPrepared) copy-on-write under an internal mutex and may be called
 // from any goroutine.
+// The base database itself is also behind an atomic pointer, together with a
+// monotone data generation counter, so the live ingestion path can publish
+// grown copy-on-write database versions (SwapData) while queries keep
+// scanning the version they pinned.
 type System struct {
+	data atomic.Pointer[dataState]
+	mu   sync.Mutex // serialises writers; readers go through the pointers
+	set  atomic.Pointer[preparedSet]
+}
+
+// dataState is one immutable published version of the base data: the
+// database and the number of ingest batches applied to reach it.
+type dataState struct {
 	db  *engine.Database
-	mu  sync.Mutex // serialises writers; readers go through the pointer
-	set atomic.Pointer[preparedSet]
+	gen uint64
 }
 
 // preparedSet is one immutable generation of the registered strategies.
@@ -128,7 +139,8 @@ type preparedSet struct {
 
 // NewSystem returns a middleware instance over db.
 func NewSystem(db *engine.Database) *System {
-	s := &System{db: db}
+	s := &System{}
+	s.data.Store(&dataState{db: db})
 	s.set.Store(&preparedSet{
 		prepared: map[string]Prepared{},
 		prepTime: map[string]time.Duration{},
@@ -136,8 +148,29 @@ func NewSystem(db *engine.Database) *System {
 	return s
 }
 
-// DB returns the underlying database.
-func (s *System) DB() *engine.Database { return s.db }
+// DB returns the current version of the underlying database.
+func (s *System) DB() *engine.Database { return s.data.Load().db }
+
+// Data returns the current database version together with its data
+// generation, loaded atomically (one published pair, never a torn mix).
+func (s *System) Data() (*engine.Database, uint64) {
+	d := s.data.Load()
+	return d.db, d.gen
+}
+
+// DataGeneration returns the number of ingest batches applied to the current
+// database version. Query responses report it so clients can detect
+// staleness across ingest.
+func (s *System) DataGeneration() uint64 { return s.data.Load().gen }
+
+// SwapData atomically publishes a new database version at generation gen.
+// In-flight queries that already loaded the previous version finish on it;
+// the ingestion layer is the only caller and serialises its swaps.
+func (s *System) SwapData(db *engine.Database, gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data.Store(&dataState{db: db, gen: gen})
+}
 
 // update installs a copy-on-write modification of the prepared set.
 func (s *System) update(mutate func(*preparedSet)) {
@@ -164,7 +197,7 @@ func (s *System) update(mutate func(*preparedSet)) {
 // state is installed atomically.
 func (s *System) AddStrategy(st Strategy) error {
 	start := time.Now()
-	p, err := st.Preprocess(s.db)
+	p, err := st.Preprocess(s.DB())
 	if err != nil {
 		return fmt.Errorf("preprocess %s: %w", st.Name(), err)
 	}
@@ -234,7 +267,7 @@ func (s *System) ApproxCtx(ctx context.Context, strategy string, q *engine.Query
 	if !ok {
 		return nil, fmt.Errorf("core: strategy %q not registered", strategy)
 	}
-	if err := q.Validate(s.db); err != nil {
+	if err := q.Validate(s.DB()); err != nil {
 		return nil, err
 	}
 	var ans *Answer
@@ -262,6 +295,6 @@ func (s *System) Exact(q *engine.Query) (*engine.Result, time.Duration, error) {
 // only the engine execution, so /exact and /query latencies are comparable.
 func (s *System) ExactCtx(ctx context.Context, q *engine.Query) (*engine.Result, time.Duration, error) {
 	start := time.Now()
-	res, err := engine.ExecuteExactCtx(ctx, s.db, q)
+	res, err := engine.ExecuteExactCtx(ctx, s.DB(), q)
 	return res, time.Since(start), err
 }

@@ -1,0 +1,659 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dynsample/internal/bitmask"
+	"dynsample/internal/engine"
+	"dynsample/internal/parallel"
+	"dynsample/internal/randx"
+)
+
+// Online sample maintenance: the ingest subsystem's bridge into small group
+// sampling. The paper builds its sample family in an offline pre-processing
+// phase and leaves maintenance under updates open; Online closes that gap by
+// keeping the family statistically valid as rows stream in, WITHOUT touching
+// the frozen pre-processing decisions:
+//
+//   - The uniform overall sample continues as a reservoir (Vitter's
+//     Algorithm R) of fixed capacity k over the growing stream: each new row
+//     replaces a random slot with probability k/N, so after any number of
+//     appends the overall sample is still a uniform k-of-N sample, and the
+//     runtime scale factor N/k is updated per batch.
+//   - A new row whose value in column C lies outside the frozen common set
+//     L(C) is appended, completely, to C's small group table with the
+//     correct membership bitmask, so rare groups keep their exact answers.
+//     Values never seen before are outside L(C) by definition and therefore
+//     captured exactly from their first occurrence.
+//   - Per-column frequency counts over the values outside L(C) detect
+//     common-set drift: when some rare value's total count approaches the
+//     t·N small-group threshold, the frozen decision "this value is rare" is
+//     about to become wrong-side-of-the-split, and the drift gauge
+//     (count / t·N for the heaviest rare value) crosses 1. Answers remain
+//     correct either way — estimates stay unbiased and small groups stay
+//     exact, the family is merely no longer the one pre-processing would
+//     build — so the policy is to serve slightly-stale-but-correct answers
+//     until drift exceeds a configured bound, then rebuild in the
+//     background (see ingest.Coordinator).
+//
+// Every mutation is copy-on-write over the published state (engine
+// CloneForAppend / CopyForUpdate plus a fresh smallGroupPrepared per batch),
+// so concurrent queries keep scanning the version they pinned; Online itself
+// is a single-writer object whose calls the caller must serialise.
+type Online struct {
+	sys      *System
+	strategy string
+
+	app *engine.Appender
+	p   *smallGroupPrepared
+	rng *rand.Rand
+
+	// Reservoir continuation state for the overall sample.
+	cap  int   // reservoir capacity = overall sample rows (fixed until rebuild)
+	seen int64 // stream length offered so far (= base rows)
+
+	gen       uint64 // data generation: ingest batches applied to the base db
+	sampleGen uint64 // batches whose rows are represented in the sample family
+
+	t          float64 // small-group fraction (the t in the t·N threshold)
+	maxTracked int     // per-column cap on tracked rare values
+
+	colPos  []int    // per meta column: position in the view column order
+	pairPos [][2]int // per pair: view positions of both columns
+	// pairColCommon tests, per pair side, whether a value is common in that
+	// column (a pair column outside S has every value common).
+	pairColCommon [][2]func(engine.Value) bool
+
+	// freqs counts, per meta column, total occurrences of each value outside
+	// the frozen L(C); maxRareCount is the running maximum over all of them.
+	freqs        []map[engine.Value]int64
+	saturated    []bool
+	maxRareCount int64
+
+	// Columns pre-processing removed from S for having NO small groups
+	// (§4.2.1: every value common) are tracked by value set: a brand-new
+	// value in one of them IS a small group, but no table exists to insert
+	// it into, so the only correct response is a rebuild that re-admits the
+	// column to S. missingNew counts batch rows carrying such a value;
+	// any makes Drift report at least 1. τ-excluded columns (distinct count
+	// beyond DistinctLimit) are not tracked — a rebuild would drop them too.
+	missingPos  []int
+	missingVals []map[engine.Value]struct{}
+	missingNew  int64
+}
+
+// OnlineConfig parameterises online maintenance.
+type OnlineConfig struct {
+	// SmallGroupFraction is t for the drift threshold t·N. Zero falls back
+	// to the prepared state's configured fraction; states restored from disk
+	// do not carry it, so the caller must supply it then.
+	SmallGroupFraction float64
+	// Seed drives the continued reservoir. Replaying the same batch sequence
+	// with the same seed reproduces the sample family bit-identically.
+	Seed int64
+	// MaxTrackedPerColumn caps each column's rare-value frequency map. When
+	// a column exceeds it (a flood of brand-new distinct values), tracking
+	// saturates and Drift reports +Inf: the right response is a rebuild,
+	// whose scan-1 either re-splits the column or drops it from S via the
+	// τ cutoff. Zero means 4·DefaultDistinctLimit.
+	MaxTrackedPerColumn int
+}
+
+// BatchStats reports what one applied batch changed.
+type BatchStats struct {
+	// Rows is the number of rows appended to the base data.
+	Rows int
+	// ReservoirSwaps counts overall-sample slots replaced by batch rows.
+	ReservoirSwaps int
+	// SmallGroupInserts counts rows added to small group (and pair) tables.
+	SmallGroupInserts int
+	// Drift is the drift gauge after the batch (see Online.Drift).
+	Drift float64
+	// DataGeneration is the published data generation after the batch.
+	DataGeneration uint64
+}
+
+// TailBatch is a batch ingested while a rebuild was running, to be re-applied
+// onto the freshly built state (see Rebase).
+type TailBatch struct {
+	Seq  uint64
+	Rows [][]engine.Value
+}
+
+// NewOnline attaches online maintenance to the prepared state registered
+// under strategy. The system's current database must be the base data the
+// samples were built from (for snapshot-restored states: the regenerated
+// base, with the WAL replayed on top via Apply). Construction scans the base
+// once to seed the rare-value frequency counts and the value sets of the
+// columns pre-processing removed from S for having no small groups.
+//
+// Online maintenance supports the paper's default configuration: flat join
+// synopses, the two-level hierarchy, and the uniform reservoir overall
+// sample. Renormalized storage, multi-level bands and weighted overall
+// builders must use full rebuilds instead.
+func NewOnline(sys *System, strategy string, cfg OnlineConfig) (*Online, error) {
+	prep, ok := sys.Prepared(strategy)
+	if !ok {
+		return nil, fmt.Errorf("core: strategy %q not registered", strategy)
+	}
+	sgp, ok := prep.(*smallGroupPrepared)
+	if !ok {
+		return nil, fmt.Errorf("core: online maintenance needs small group sampling state, got %T", prep)
+	}
+	if len(sgp.sharedDims) > 0 {
+		return nil, fmt.Errorf("core: online maintenance does not support renormalized sample storage")
+	}
+	if len(sgp.cfg.Levels) > 1 {
+		return nil, fmt.Errorf("core: online maintenance does not support the multi-level hierarchy")
+	}
+	for _, s := range sgp.tables {
+		tbl, ok := s.src.(*engine.Table)
+		if !ok {
+			return nil, fmt.Errorf("core: online maintenance does not support renormalized sample storage")
+		}
+		if tbl.Weights != nil {
+			return nil, fmt.Errorf("core: online maintenance does not support weighted small group table %q", s.name)
+		}
+	}
+	otbl, ok := sgp.overall.src.(*engine.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: online maintenance does not support renormalized sample storage")
+	}
+	if otbl.Weights != nil {
+		return nil, fmt.Errorf("core: online maintenance does not support a weighted overall sample")
+	}
+	if otbl.NumRows() == 0 {
+		return nil, fmt.Errorf("core: empty overall sample")
+	}
+	t := cfg.SmallGroupFraction
+	if t <= 0 {
+		t = sgp.cfg.SmallGroupFraction
+	}
+	if t <= 0 || t > 1 {
+		return nil, fmt.Errorf("core: online maintenance needs a small group fraction in (0,1], got %g", t)
+	}
+	maxTracked := cfg.MaxTrackedPerColumn
+	if maxTracked <= 0 {
+		maxTracked = 4 * DefaultDistinctLimit
+	}
+
+	db, gen := sys.Data()
+	app, err := engine.NewAppender(db)
+	if err != nil {
+		return nil, err
+	}
+	o := &Online{
+		sys:        sys,
+		strategy:   strategy,
+		app:        app,
+		p:          sgp,
+		rng:        randx.New(cfg.Seed),
+		cap:        otbl.NumRows(),
+		seen:       int64(db.NumRows()),
+		gen:        gen,
+		sampleGen:  sgp.dataGen,
+		t:          t,
+		maxTracked: maxTracked,
+	}
+	if err := o.bindMeta(sgp.meta, db); err != nil {
+		return nil, err
+	}
+	if err := o.seedFrequencies(sgp.meta, db); err != nil {
+		return nil, err
+	}
+	if err := o.seedMissing(sgp.meta, db); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// bindMeta resolves the metadata's columns against the view column order.
+func (o *Online) bindMeta(meta *Metadata, db *engine.Database) error {
+	view := db.Columns()
+	pos := make(map[string]int, len(view))
+	for i, n := range view {
+		pos[n] = i
+	}
+	o.colPos = o.colPos[:0]
+	for _, cm := range meta.Columns() {
+		p, ok := pos[cm.Column]
+		if !ok {
+			return fmt.Errorf("core: metadata column %q missing from database view", cm.Column)
+		}
+		o.colPos = append(o.colPos, p)
+	}
+	o.pairPos = o.pairPos[:0]
+	o.pairColCommon = o.pairColCommon[:0]
+	for _, pm := range meta.Pairs() {
+		var pp [2]int
+		var commons [2]func(engine.Value) bool
+		for side, col := range pm.Cols {
+			p, ok := pos[col]
+			if !ok {
+				return fmt.Errorf("core: pair column %q missing from database view", col)
+			}
+			pp[side] = p
+			if cm, inS := meta.Column(col); inS {
+				common := cm.Common
+				commons[side] = func(v engine.Value) bool { _, ok := common[v]; return ok }
+			} else {
+				commons[side] = func(engine.Value) bool { return true }
+			}
+		}
+		o.pairPos = append(o.pairPos, pp)
+		o.pairColCommon = append(o.pairColCommon, commons)
+	}
+	return nil
+}
+
+// seedFrequencies scans the database once, counting per column the
+// occurrences of every value outside the frozen L(C). Columns are
+// independent, so the scan fans out one column per worker.
+func (o *Online) seedFrequencies(meta *Metadata, db *engine.Database) error {
+	cols := meta.Columns()
+	o.freqs = make([]map[engine.Value]int64, len(cols))
+	o.saturated = make([]bool, len(cols))
+	accs := make([]engine.ColumnAccessor, len(cols))
+	for i, cm := range cols {
+		acc, err := db.Accessor(cm.Column)
+		if err != nil {
+			return err
+		}
+		accs[i] = acc
+	}
+	n := db.NumRows()
+	parallel.ForEach(o.p.cfg.Workers, len(cols), func(i int) {
+		freq := make(map[engine.Value]int64)
+		common := cols[i].Common
+		for row := 0; row < n; row++ {
+			v := accs[i].Value(row)
+			if _, ok := common[v]; ok {
+				continue
+			}
+			freq[v]++
+			if len(freq) > o.maxTracked {
+				o.saturated[i] = true
+				freq = nil
+				break
+			}
+		}
+		o.freqs[i] = freq
+	})
+	o.maxRareCount = 0
+	for _, freq := range o.freqs {
+		for _, c := range freq {
+			if c > o.maxRareCount {
+				o.maxRareCount = c
+			}
+		}
+	}
+	return nil
+}
+
+// seedMissing builds, for every view column outside S whose distinct count
+// is within the τ cutoff, the set of values present in db. These are the
+// columns pre-processing removed from S for having no small groups; a value
+// never seen in one of them is a small group the frozen family cannot
+// represent (there is no table to insert into), so trackMissing floors the
+// drift gauge at 1 the moment one arrives.
+func (o *Online) seedMissing(meta *Metadata, db *engine.Database) error {
+	lim := o.p.cfg.DistinctLimit
+	if lim <= 0 {
+		lim = DefaultDistinctLimit
+	}
+	var pos []int
+	var accs []engine.ColumnAccessor
+	for i, name := range db.Columns() {
+		if _, inS := meta.Column(name); inS {
+			continue
+		}
+		acc, err := db.Accessor(name)
+		if err != nil {
+			return err
+		}
+		pos = append(pos, i)
+		accs = append(accs, acc)
+	}
+	vals := make([]map[engine.Value]struct{}, len(pos))
+	n := db.NumRows()
+	parallel.ForEach(o.p.cfg.Workers, len(pos), func(i int) {
+		set := make(map[engine.Value]struct{})
+		for row := 0; row < n; row++ {
+			set[accs[i].Value(row)] = struct{}{}
+			if len(set) > lim {
+				set = nil // τ-excluded: a rebuild would drop this column too
+				break
+			}
+		}
+		vals[i] = set
+	})
+	o.missingPos = o.missingPos[:0]
+	o.missingVals = o.missingVals[:0]
+	for i, set := range vals {
+		if set == nil {
+			continue
+		}
+		o.missingPos = append(o.missingPos, pos[i])
+		o.missingVals = append(o.missingVals, set)
+	}
+	o.missingNew = 0
+	return nil
+}
+
+// trackMissing counts batch rows whose value in a tracked no-small-groups
+// column was never seen at pre-processing time.
+func (o *Online) trackMissing(rows [][]engine.Value) {
+	for i, p := range o.missingPos {
+		set := o.missingVals[i]
+		for _, row := range rows {
+			if _, ok := set[row[p]]; !ok {
+				o.missingNew++
+			}
+		}
+	}
+}
+
+// DataGenerationOf returns the ingest data generation recorded in a prepared
+// state (SaveSmallGroup persists it), or 0 when the state doesn't track one.
+func DataGenerationOf(p Prepared) uint64 {
+	if g, ok := p.(interface{ DataGeneration() uint64 }); ok {
+		return g.DataGeneration()
+	}
+	return 0
+}
+
+// DataGeneration returns the data generation of the newest applied batch.
+func (o *Online) DataGeneration() uint64 { return o.gen }
+
+// SampleGeneration returns the generation baked into the sample family.
+func (o *Online) SampleGeneration() uint64 { return o.sampleGen }
+
+// DB returns the newest database version.
+func (o *Online) DB() *engine.Database { return o.app.DB() }
+
+// Prepared returns the newest maintained sample state.
+func (o *Online) Prepared() Prepared { return o.p }
+
+// Validate checks a batch against the view schema without applying it. The
+// ingest coordinator calls it before a batch is acknowledged to the WAL.
+func (o *Online) Validate(rows [][]engine.Value) error { return o.app.Validate(rows) }
+
+// Drift returns the drift gauge: the heaviest rare value's total count as a
+// fraction of the t·N small-group threshold. Crossing 1 means some value the
+// frozen metadata files under "rare" now carries enough mass that
+// pre-processing would declare it common — time to rebuild. The gauge also
+// floors at 1 once a brand-new value arrives in a column pre-processing
+// removed from S for having no small groups: that group cannot be captured
+// without a rebuild re-admitting the column. +Inf when value tracking
+// saturated (see OnlineConfig.MaxTrackedPerColumn).
+func (o *Online) Drift() float64 {
+	for _, s := range o.saturated {
+		if s {
+			return math.Inf(1)
+		}
+	}
+	var d float64
+	if n := o.app.DB().NumRows(); n > 0 && o.maxRareCount > 0 {
+		d = float64(o.maxRareCount) / (o.t * float64(n))
+	}
+	if o.missingNew > 0 && d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Apply appends one ingest batch (rows in view column order) as data
+// generation seq, which must be exactly DataGeneration()+1. The base data
+// always grows; the sample family is updated only when seq exceeds
+// SampleGeneration() — batches at or below it are already baked into a
+// snapshot-restored family, so replay re-applies them to the regenerated
+// base only, while still burning the same reservoir draws and frequency
+// counts to stay bit-identical with a never-restored run. The new database
+// and sample versions are published to the System before Apply returns.
+func (o *Online) Apply(seq uint64, rows [][]engine.Value) (BatchStats, error) {
+	var st BatchStats
+	if seq != o.gen+1 {
+		return st, fmt.Errorf("core: online apply out of order: batch %d after generation %d", seq, o.gen)
+	}
+	updateSamples := seq > o.sampleGen
+	newDB, err := o.app.Append(rows)
+	if err != nil {
+		return st, err
+	}
+
+	masks, perTable, victims := o.classify(rows)
+
+	np := *o.p
+	np.db = newDB
+	if updateSamples {
+		o.applySampleUpdates(&np, rows, masks, perTable, victims, &st)
+		np.overallScale = float64(newDB.NumRows()) / float64(o.cap)
+		o.sampleGen = seq
+	}
+	o.gen = seq
+	np.dataGen = o.sampleGen
+	o.p = &np
+	o.sys.SwapData(newDB, o.gen)
+	o.sys.SwapPrepared(o.strategy, &np)
+
+	st.Rows = len(rows)
+	st.Drift = o.Drift()
+	st.DataGeneration = o.gen
+	return st, nil
+}
+
+// reservoirHit records one accepted reservoir replacement: batch row ri
+// replaces overall-sample slot.
+type reservoirHit struct {
+	slot int
+	ri   int
+}
+
+// classify computes each batch row's membership bitmask, bumps the
+// rare-value frequency counts, and draws the reservoir decisions. It
+// mutates only tracking state (freqs, seen, rng), never sample tables.
+func (o *Online) classify(rows [][]engine.Value) ([]bitmask.Mask, map[int][]int, []reservoirHit) {
+	meta := o.p.meta
+	width := meta.Width()
+	cols := meta.Columns()
+	masks := make([]bitmask.Mask, len(rows))
+	perTable := make(map[int][]int)
+	var victims []reservoirHit
+	o.trackMissing(rows)
+	for ri, row := range rows {
+		m := bitmask.New(width)
+		for ci, cm := range cols {
+			v := row[o.colPos[ci]]
+			if _, common := cm.Common[v]; common {
+				continue
+			}
+			o.bumpFreq(ci, v)
+			m.Set(cm.Index)
+			perTable[cm.Index] = append(perTable[cm.Index], ri)
+		}
+		for pi, pm := range meta.Pairs() {
+			v0 := row[o.pairPos[pi][0]]
+			v1 := row[o.pairPos[pi][1]]
+			if !o.pairColCommon[pi][0](v0) || !o.pairColCommon[pi][1](v1) {
+				continue
+			}
+			tuple := engine.EncodeKey([]engine.Value{v0, v1})
+			if _, rare := pm.Rare[tuple]; rare {
+				m.Set(pm.Index)
+				perTable[pm.Index] = append(perTable[pm.Index], ri)
+			}
+		}
+		masks[ri] = m
+		// Continued Algorithm R: replace slot j with probability cap/seen.
+		o.seen++
+		if j := o.rng.Int63n(o.seen); j < int64(o.cap) {
+			victims = append(victims, reservoirHit{slot: int(j), ri: ri})
+		}
+	}
+	return masks, perTable, victims
+}
+
+func (o *Online) bumpFreq(ci int, v engine.Value) {
+	if o.saturated[ci] {
+		return
+	}
+	freq := o.freqs[ci]
+	c := freq[v] + 1
+	if c == 1 && len(freq) >= o.maxTracked {
+		o.saturated[ci] = true
+		o.freqs[ci] = nil
+		return
+	}
+	freq[v] = c
+	if c > o.maxRareCount {
+		o.maxRareCount = c
+	}
+}
+
+// applySampleUpdates materialises the classified batch into copy-on-write
+// versions of the affected sample tables.
+func (o *Online) applySampleUpdates(np *smallGroupPrepared, rows [][]engine.Value, masks []bitmask.Mask, perTable map[int][]int, victims []reservoirHit, st *BatchStats) {
+	if len(perTable) > 0 {
+		np.tables = append([]sampleSource(nil), o.p.tables...)
+		for ix, list := range perTable {
+			tbl := np.tables[ix].src.(*engine.Table).CloneForAppend()
+			for _, ri := range list {
+				tbl.AppendRow(rows[ri]...)
+				tbl.Masks = append(tbl.Masks, masks[ri])
+				st.SmallGroupInserts++
+			}
+			np.tables[ix] = sampleSource{src: tbl, name: np.tables[ix].name}
+		}
+	}
+	if len(victims) > 0 {
+		ot := o.p.overall.src.(*engine.Table).CopyForUpdate()
+		for _, v := range victims {
+			// A slot replaced twice in one batch keeps the later row, exactly
+			// as sequential per-row reservoir updates would.
+			ot.SetRow(v.slot, rows[v.ri]...)
+			ot.Masks[v.slot] = masks[v.ri]
+			st.ReservoirSwaps++
+		}
+		np.overall = sampleSource{src: ot, name: o.p.overall.name}
+	}
+}
+
+// Rebase installs freshly rebuilt sample state p (pre-processed from the
+// pinned database version at data generation rebuiltAt) and re-applies the
+// sample-side updates of every batch ingested while the rebuild ran (the
+// tail, seq ascending from rebuiltAt+1 through DataGeneration()). Tail rows
+// are already in the base data — Apply ran live during the rebuild — so only
+// their reservoir offers and small-group inserts are replayed, against the
+// new metadata. Frequency tracking is re-seeded from the current database
+// with the new common sets, which resets the drift gauge. The rebased state
+// is published before Rebase returns.
+func (o *Online) Rebase(p Prepared, rebuiltAt uint64, tail []TailBatch) error {
+	sgp, ok := p.(*smallGroupPrepared)
+	if !ok {
+		return fmt.Errorf("core: online rebase needs small group sampling state, got %T", p)
+	}
+	prev := o.p
+	prevCap, prevSeen, prevSampleGen := o.cap, o.seen, o.sampleGen
+	prevMissingPos, prevMissingVals, prevMissingNew := o.missingPos, o.missingVals, o.missingNew
+	restore := func() {
+		o.p = prev
+		o.cap, o.seen, o.sampleGen = prevCap, prevSeen, prevSampleGen
+		o.missingPos, o.missingVals, o.missingNew = prevMissingPos, prevMissingVals, prevMissingNew
+	}
+
+	otbl, ok := sgp.overall.src.(*engine.Table)
+	if !ok || otbl.Weights != nil || otbl.NumRows() == 0 || len(sgp.sharedDims) > 0 {
+		return fmt.Errorf("core: online rebase needs a flat uniform-overall sample family")
+	}
+	np := *sgp
+	np.db = o.app.DB()
+	o.p = &np
+	o.cap = otbl.NumRows()
+	if sgp.db == nil {
+		restore()
+		return fmt.Errorf("core: online rebase needs state pre-processed from live data")
+	}
+	o.seen = int64(sgp.db.NumRows())
+	o.sampleGen = rebuiltAt
+	if err := o.bindMeta(np.meta, np.db); err != nil {
+		restore()
+		return err
+	}
+	if err := o.seedFrequencies(np.meta, np.db); err != nil {
+		restore()
+		return err
+	}
+	// Missing-column value sets, unlike the frequency counts, are seeded
+	// from the pinned rebuild database: a new value a tail row introduces
+	// into a still-dropped column must keep the drift gauge floored, and
+	// classifyForRebase bumps it during the tail replay below.
+	o.missingPos, o.missingVals = nil, nil
+	if err := o.seedMissing(np.meta, sgp.db); err != nil {
+		restore()
+		return err
+	}
+	for _, b := range tail {
+		if b.Seq != o.sampleGen+1 {
+			restore()
+			return fmt.Errorf("core: rebase tail out of order: batch %d after sample generation %d", b.Seq, o.sampleGen)
+		}
+		if b.Seq > o.gen {
+			restore()
+			return fmt.Errorf("core: rebase tail batch %d beyond data generation %d", b.Seq, o.gen)
+		}
+		masks, perTable, victims := o.classifyForRebase(b.Rows)
+		var st BatchStats
+		o.applySampleUpdates(&np, b.Rows, masks, perTable, victims, &st)
+		o.sampleGen = b.Seq
+	}
+	if o.sampleGen != o.gen {
+		restore()
+		return fmt.Errorf("core: rebase tail ends at batch %d, data generation is %d", o.sampleGen, o.gen)
+	}
+	np.overallScale = float64(np.db.NumRows()) / float64(o.cap)
+	np.dataGen = o.sampleGen
+	o.sys.SwapPrepared(o.strategy, &np)
+	return nil
+}
+
+// classifyForRebase is classify without frequency bumps: rebased frequency
+// counts were seeded from the full current database, tail rows included.
+// Missing-column tracking DOES run here — its value sets come from the
+// pinned rebuild database, which excludes the tail.
+func (o *Online) classifyForRebase(rows [][]engine.Value) ([]bitmask.Mask, map[int][]int, []reservoirHit) {
+	meta := o.p.meta
+	width := meta.Width()
+	cols := meta.Columns()
+	masks := make([]bitmask.Mask, len(rows))
+	perTable := make(map[int][]int)
+	var victims []reservoirHit
+	o.trackMissing(rows)
+	for ri, row := range rows {
+		m := bitmask.New(width)
+		for ci, cm := range cols {
+			if _, common := cm.Common[row[o.colPos[ci]]]; !common {
+				m.Set(cm.Index)
+				perTable[cm.Index] = append(perTable[cm.Index], ri)
+			}
+		}
+		for pi, pm := range meta.Pairs() {
+			v0 := row[o.pairPos[pi][0]]
+			v1 := row[o.pairPos[pi][1]]
+			if !o.pairColCommon[pi][0](v0) || !o.pairColCommon[pi][1](v1) {
+				continue
+			}
+			if _, rare := pm.Rare[engine.EncodeKey([]engine.Value{v0, v1})]; rare {
+				m.Set(pm.Index)
+				perTable[pm.Index] = append(perTable[pm.Index], ri)
+			}
+		}
+		masks[ri] = m
+		o.seen++
+		if j := o.rng.Int63n(o.seen); j < int64(o.cap) {
+			victims = append(victims, reservoirHit{slot: int(j), ri: ri})
+		}
+	}
+	return masks, perTable, victims
+}

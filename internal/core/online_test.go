@@ -1,0 +1,522 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/randx"
+)
+
+// onlineRows generates ingest rows in the skewedDB view order (a, b, m, u)
+// with the same value distribution, with unique u continuing from start.
+func onlineRows(rng *rand.Rand, start, count int) [][]engine.Value {
+	rows := make([][]engine.Value, count)
+	for i := range rows {
+		var a string
+		switch r := rng.Float64(); {
+		case r < 0.80:
+			a = "A0"
+		case r < 0.95:
+			a = "A1"
+		default:
+			a = "A" + string(rune('2'+rng.Intn(10)))
+		}
+		rows[i] = []engine.Value{
+			engine.StringVal(a),
+			engine.StringVal("B" + string(rune('0'+rng.Intn(4)))),
+			engine.IntVal(int64((start+i)%97) + 1),
+			engine.IntVal(int64(start + i)),
+		}
+	}
+	return rows
+}
+
+// onlineSystem builds a system over skewedDB(n), preprocesses it, and
+// attaches online maintenance.
+func onlineSystem(t testing.TB, n int, cfg SmallGroupConfig, seed int64) (*System, *Online) {
+	t.Helper()
+	db := skewedDB(t, n)
+	sys := NewSystem(db)
+	if err := sys.AddStrategy(NewSmallGroup(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOnline(sys, "smallgroup", OnlineConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, o
+}
+
+// TestOnlineReservoirUniform checks that the maintained overall sample is a
+// uniform fixed-size sample of the grown data: across many independent
+// seeds, inclusion counts bucketed by row position (first half = original
+// rows, second half = ingested rows) must be uniform. A strong positional
+// bias — e.g. ingested rows over- or under-represented — would concentrate
+// mass in some deciles and blow up the chi-square statistic.
+func TestOnlineReservoirUniform(t *testing.T) {
+	const (
+		n0      = 2000
+		ingest  = 2000
+		trials  = 30
+		buckets = 10
+	)
+	counts := make([]int64, buckets)
+	var k int
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(1000 + trial)
+		_, o := onlineSystem(t, n0, SmallGroupConfig{
+			BaseRate: 0.05, SmallGroupFraction: 0.08, DistinctLimit: 100, Seed: seed,
+		}, seed*7+1)
+		rng := randx.New(seed * 13)
+		seq := uint64(0)
+		for off := 0; off < ingest; off += 100 {
+			seq++
+			if _, err := o.Apply(seq, onlineRows(rng, n0+off, 100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total := n0 + ingest
+		ot := o.Prepared().(*smallGroupPrepared).Overall()
+		k = ot.NumRows()
+		u := ot.MustColumn("u")
+		for r := 0; r < ot.NumRows(); r++ {
+			pos := int(u.Int(r))
+			counts[pos*buckets/total]++
+		}
+	}
+	expected := float64(trials*k) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom, p=0.001 critical value.
+	if chi2 > 27.877 {
+		t.Fatalf("reservoir inclusion not uniform: chi-square=%.2f (buckets %v, expected %.1f each)", chi2, counts, expected)
+	}
+}
+
+// expectedMask recomputes a row's membership bitmask from the metadata.
+func expectedMask(meta *Metadata, colPos map[string]int, row []engine.Value) []bool {
+	bits := make([]bool, meta.Width())
+	for _, cm := range meta.Columns() {
+		if _, common := cm.Common[row[colPos[cm.Column]]]; !common {
+			bits[cm.Index] = true
+		}
+	}
+	for _, pm := range meta.Pairs() {
+		v0, v1 := row[colPos[pm.Cols[0]]], row[colPos[pm.Cols[1]]]
+		if _, rare := pm.Rare[engine.EncodeKey([]engine.Value{v0, v1})]; rare {
+			bits[pm.Index] = true
+		}
+	}
+	return bits
+}
+
+// TestOnlineSmallGroupMembership checks the exactness invariant after
+// ingest: every base row whose value lies outside L(C) is present in C's
+// small group table (same multiplicity), and every sample row's bitmask
+// matches the metadata's membership rule.
+func TestOnlineSmallGroupMembership(t *testing.T) {
+	const n0, ingest = 5000, 3000
+	_, o := onlineSystem(t, n0, SmallGroupConfig{
+		BaseRate: 0.02, SmallGroupFraction: 0.08, DistinctLimit: 100, Seed: 5,
+	}, 99)
+	rng := randx.New(42)
+	seq := uint64(0)
+	for off := 0; off < ingest; off += 500 {
+		seq++
+		if _, err := o.Apply(seq, onlineRows(rng, n0+off, 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := o.Prepared().(*smallGroupPrepared)
+	meta := p.Meta()
+	db := o.DB()
+	view := db.Columns()
+	colPos := make(map[string]int, len(view))
+	for i, n := range view {
+		colPos[n] = i
+	}
+
+	cmA, ok := meta.Column("a")
+	if !ok {
+		t.Fatal("column a not in S")
+	}
+	// Multiset of rare-a base rows, keyed by the full row tuple.
+	wantRare := map[engine.GroupKey]int{}
+	var wantTotal int
+	accs := make([]engine.ColumnAccessor, len(view))
+	for i, cn := range view {
+		acc, err := db.Accessor(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[i] = acc
+	}
+	aPos := colPos["a"]
+	row := make([]engine.Value, len(view))
+	for r := 0; r < db.NumRows(); r++ {
+		for i := range accs {
+			row[i] = accs[i].Value(r)
+		}
+		if _, common := cmA.Common[row[aPos]]; common {
+			continue
+		}
+		wantRare[engine.EncodeKey(row)]++
+		wantTotal++
+	}
+
+	sg := p.Tables()[cmA.Index]
+	if sg.NumRows() != wantTotal {
+		t.Fatalf("sg_a has %d rows, want %d (every rare row, exactly once)", sg.NumRows(), wantTotal)
+	}
+	gotRare := map[engine.GroupKey]int{}
+	for r := 0; r < sg.NumRows(); r++ {
+		vals := sg.RowValues(r)
+		gotRare[engine.EncodeKey(vals)]++
+		bits := expectedMask(meta, colPos, vals)
+		mask, okm := sg.RowMask(r)
+		if !okm {
+			t.Fatalf("sg_a row %d has no mask", r)
+		}
+		for b, want := range bits {
+			if mask.Bit(b) != want {
+				t.Fatalf("sg_a row %d bit %d = %v, want %v (row %v)", r, b, mask.Bit(b), want, vals)
+			}
+		}
+	}
+	for k, want := range wantRare {
+		if gotRare[k] != want {
+			t.Fatalf("rare row multiplicity mismatch: got %d, want %d", gotRare[k], want)
+		}
+	}
+
+	// Overall sample masks must match the membership rule too.
+	ot := p.Overall()
+	for r := 0; r < ot.NumRows(); r++ {
+		vals := ot.RowValues(r)
+		bits := expectedMask(meta, colPos, vals)
+		mask, okm := ot.RowMask(r)
+		if !okm {
+			t.Fatalf("overall row %d has no mask", r)
+		}
+		for b, want := range bits {
+			if mask.Bit(b) != want {
+				t.Fatalf("overall row %d bit %d = %v, want %v", r, b, mask.Bit(b), want)
+			}
+		}
+	}
+}
+
+// TestOnlineAnswers checks answer quality after ingest: rare groups are
+// answered exactly (and marked exact), and common-group estimates stay
+// unbiased within a loose tolerance.
+func TestOnlineAnswers(t *testing.T) {
+	const n0, ingest = 8000, 4000
+	sys, o := onlineSystem(t, n0, SmallGroupConfig{
+		BaseRate: 0.05, SmallGroupFraction: 0.08, DistinctLimit: 100, Seed: 7,
+	}, 123)
+	rng := randx.New(77)
+	seq := uint64(0)
+	for off := 0; off < ingest; off += 400 {
+		seq++
+		if _, err := o.Apply(seq, onlineRows(rng, n0+off, 400)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := &engine.Query{GroupBy: []string{"a"}, Aggs: []engine.Aggregate{{Kind: engine.Count}, {Kind: engine.Sum, Col: "m"}}}
+	exact, err := engine.ExecuteExact(o.DB(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Approx("smallgroup", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := o.Prepared().(*smallGroupPrepared).Meta()
+	for _, key := range exact.Keys() {
+		eg := exact.Group(key)
+		ag := ans.Result.Group(key)
+		if ag == nil {
+			t.Fatalf("group %v missing from approximate answer", eg.Key)
+		}
+		if _, common := meta.Columns()[0].Common[eg.Key[0]]; !common {
+			// Rare group: must be exact.
+			if !ag.Exact {
+				t.Errorf("rare group %v not marked exact", eg.Key)
+			}
+			for i := range eg.Vals {
+				if math.Abs(ag.Vals[i]-eg.Vals[i]) > 1e-6 {
+					t.Errorf("rare group %v agg %d = %g, want exact %g", eg.Key, i, ag.Vals[i], eg.Vals[i])
+				}
+			}
+			continue
+		}
+		for i := range eg.Vals {
+			rel := math.Abs(ag.Vals[i]-eg.Vals[i]) / eg.Vals[i]
+			if rel > 0.25 {
+				t.Errorf("common group %v agg %d rel error %.3f too large (%g vs %g)", eg.Key, i, rel, ag.Vals[i], eg.Vals[i])
+			}
+		}
+	}
+}
+
+// TestOnlineDriftGauge streams a brand-new value until its mass crosses the
+// t·N threshold and checks the gauge crosses 1 exactly then.
+func TestOnlineDriftGauge(t *testing.T) {
+	const n0 = 4000
+	_, o := onlineSystem(t, n0, SmallGroupConfig{
+		BaseRate: 0.05, SmallGroupFraction: 0.05, DistinctLimit: 100, Seed: 3,
+	}, 11)
+	if d := o.Drift(); d >= 1 {
+		t.Fatalf("initial drift %g >= 1", d)
+	}
+	// Each batch is 100 rows of the new value "HOT" in column a. After k
+	// batches: count = 100k, N = n0 + 100k, threshold t·N.
+	seq := uint64(0)
+	hot := func(count int) [][]engine.Value {
+		rows := make([][]engine.Value, count)
+		for i := range rows {
+			rows[i] = []engine.Value{
+				engine.StringVal("HOT"),
+				engine.StringVal("B0"),
+				engine.IntVal(1),
+				engine.IntVal(int64(n0) + int64(seq)*100 + int64(i)),
+			}
+		}
+		return rows
+	}
+	crossed := false
+	for batch := 0; batch < 40; batch++ {
+		seq++
+		st, err := o.Apply(seq, hot(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := float64((batch + 1) * 100)
+		n := float64(n0 + (batch+1)*100)
+		want := count / (0.05 * n)
+		if math.Abs(st.Drift-want) > 1e-9 {
+			t.Fatalf("batch %d: drift %g, want %g", batch, st.Drift, want)
+		}
+		if st.Drift >= 1 {
+			crossed = true
+			break
+		}
+	}
+	if !crossed {
+		t.Fatal("drift never crossed 1")
+	}
+}
+
+// tableBytes serialises every sample table of a prepared state; used to
+// compare two states bit-for-bit.
+func preparedBytes(t *testing.T, p Prepared) []byte {
+	t.Helper()
+	sgp := p.(*smallGroupPrepared)
+	var buf bytes.Buffer
+	for _, tbl := range sgp.Tables() {
+		if err := engine.WriteBinary(tbl, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := engine.WriteBinary(sgp.Overall(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "scale=%v gen=%d", sgp.overallScale, sgp.dataGen)
+	return buf.Bytes()
+}
+
+// TestOnlineReplayDeterminism checks the crash-recovery contract at the core
+// layer: restoring a snapshot taken mid-stream and replaying the same batch
+// sequence (early batches base-only, later ones live) converges on sample
+// tables bit-identical to the uninterrupted run.
+func TestOnlineReplayDeterminism(t *testing.T) {
+	const n0 = 3000
+	cfg := SmallGroupConfig{BaseRate: 0.04, SmallGroupFraction: 0.08, DistinctLimit: 100, Seed: 21}
+	mkBatches := func() [][][]engine.Value {
+		rng := randx.New(314)
+		var out [][][]engine.Value
+		for b := 0; b < 4; b++ {
+			out = append(out, onlineRows(rng, n0+b*250, 250))
+		}
+		return out
+	}
+
+	// Uninterrupted run: apply all four batches.
+	_, o1 := onlineSystem(t, n0, cfg, 55)
+	for i, b := range mkBatches() {
+		if _, err := o1.Apply(uint64(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := preparedBytes(t, o1.Prepared())
+
+	// Interrupted run: apply two batches, snapshot, then "restart": reload
+	// the snapshot over a fresh base and replay all four batches.
+	_, o2 := onlineSystem(t, n0, cfg, 55)
+	batches := mkBatches()
+	for i := 0; i < 2; i++ {
+		if _, err := o2.Apply(uint64(i+1), batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := SaveSmallGroup(&snap, o2.Prepared()); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSmallGroup(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DataGenerationOf(restored) != 2 {
+		t.Fatalf("snapshot generation = %d, want 2", DataGenerationOf(restored))
+	}
+	sys3 := NewSystem(skewedDB(t, n0))
+	sys3.AddPrepared("smallgroup", restored)
+	o3, err := NewOnline(sys3, "smallgroup", OnlineConfig{Seed: 55, SmallGroupFraction: cfg.SmallGroupFraction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range mkBatches() {
+		st, err := o3.Apply(uint64(i+1), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 && st.SmallGroupInserts+st.ReservoirSwaps != 0 {
+			t.Fatalf("covered batch %d touched samples (%d inserts, %d swaps)", i+1, st.SmallGroupInserts, st.ReservoirSwaps)
+		}
+	}
+	got := preparedBytes(t, o3.Prepared())
+	if !bytes.Equal(got, want) {
+		t.Fatal("replayed sample family differs from uninterrupted run")
+	}
+	if g := o3.DataGeneration(); g != 4 {
+		t.Fatalf("data generation = %d, want 4", g)
+	}
+}
+
+// TestOnlineRebase simulates the rebuild handshake: pin the database
+// mid-stream, preprocess it, keep ingesting, then rebase with the tail.
+func TestOnlineRebase(t *testing.T) {
+	const n0 = 3000
+	cfg := SmallGroupConfig{BaseRate: 0.04, SmallGroupFraction: 0.08, DistinctLimit: 100, Seed: 9}
+	sys, o := onlineSystem(t, n0, cfg, 31)
+	rng := randx.New(404)
+	if _, err := o.Apply(1, onlineRows(rng, n0, 300)); err != nil {
+		t.Fatal(err)
+	}
+	pinned, pinnedGen := sys.Data()
+	var tail []TailBatch
+	for i := 0; i < 2; i++ {
+		rows := onlineRows(rng, n0+300+i*300, 300)
+		if _, err := o.Apply(uint64(i+2), rows); err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, TailBatch{Seq: uint64(i + 2), Rows: rows})
+	}
+	rebuilt, err := NewSmallGroup(cfg).Preprocess(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Rebase(rebuilt, pinnedGen, tail); err != nil {
+		t.Fatal(err)
+	}
+	if g := DataGenerationOf(o.Prepared()); g != 3 {
+		t.Fatalf("rebased generation = %d, want 3", g)
+	}
+	// The rebased family must still answer rare groups exactly.
+	q := &engine.Query{GroupBy: []string{"a"}, Aggs: []engine.Aggregate{{Kind: engine.Count}}}
+	exact, err := engine.ExecuteExact(o.DB(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Approx("smallgroup", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := o.Prepared().(*smallGroupPrepared).Meta()
+	cmA, _ := meta.Column("a")
+	for _, key := range exact.Keys() {
+		eg := exact.Group(key)
+		if _, common := cmA.Common[eg.Key[0]]; common {
+			continue
+		}
+		ag := ans.Result.Group(key)
+		if ag == nil || !ag.Exact || math.Abs(ag.Vals[0]-eg.Vals[0]) > 1e-6 {
+			t.Fatalf("rare group %v not exact after rebase", eg.Key)
+		}
+	}
+	// Out-of-order or incomplete tails must be rejected.
+	if err := o.Rebase(rebuilt, pinnedGen, nil); err == nil {
+		t.Fatal("rebase with missing tail should fail")
+	}
+}
+
+// TestOnlineNewValueInDroppedColumn covers the §4.2.1 corner pre-processing
+// leaves behind: a column whose values are all common is removed from S, so
+// a brand-new value arriving there is a small group with no table to land
+// in. The drift gauge must floor at 1 — forcing the rebuild that re-admits
+// the column — while new values in τ-excluded columns stay ignored, since a
+// rebuild would drop those columns again anyway.
+func TestOnlineNewValueInDroppedColumn(t *testing.T) {
+	const n0 = 3000
+	cfg := SmallGroupConfig{BaseRate: 0.04, SmallGroupFraction: 0.08, DistinctLimit: 100, Seed: 9}
+	sys, o := onlineSystem(t, n0, cfg, 31)
+	meta := o.Prepared().(*smallGroupPrepared).Meta()
+	if _, inS := meta.Column("b"); inS {
+		t.Fatal("fixture drift: b should have been dropped from S (no small groups)")
+	}
+	rng := randx.New(77)
+	// onlineRows emits only known a/b values but an always-new unique u:
+	// new values in the τ-excluded u must not move the gauge.
+	if _, err := o.Apply(1, onlineRows(rng, n0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if d := o.Drift(); d >= 1 {
+		t.Fatalf("drift = %v after known-value batch, want < 1", d)
+	}
+	// One row with a brand-new value in the dropped column b.
+	if _, err := o.Apply(2, [][]engine.Value{{
+		engine.StringVal("A0"), engine.StringVal("B9"),
+		engine.IntVal(1), engine.IntVal(int64(n0 + 200)),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := o.Drift(); d < 1 {
+		t.Fatalf("drift = %v after new value in dropped column, want >= 1", d)
+	}
+	// The rebuild the gauge demands re-admits b to S and clears the floor.
+	pinned, pinnedGen := sys.Data()
+	rebuilt, err := NewSmallGroup(cfg).Preprocess(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Rebase(rebuilt, pinnedGen, nil); err != nil {
+		t.Fatal(err)
+	}
+	meta = o.Prepared().(*smallGroupPrepared).Meta()
+	if _, inS := meta.Column("b"); !inS {
+		t.Fatal("rebuild did not re-admit b to S")
+	}
+	if d := o.Drift(); d >= 1 {
+		t.Fatalf("drift = %v after rebuild, want < 1", d)
+	}
+	// The new group now answers exactly.
+	ans, err := sys.Approx("smallgroup", &engine.Query{
+		GroupBy: []string{"b"},
+		Aggs:    []engine.Aggregate{{Kind: engine.Count}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ans.Result.Group(engine.EncodeKey([]engine.Value{engine.StringVal("B9")}))
+	if g == nil || !g.Exact || g.Vals[0] != 1 {
+		t.Fatalf("B9 group after rebuild = %+v, want exact count 1", g)
+	}
+}

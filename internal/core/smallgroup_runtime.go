@@ -44,6 +44,10 @@ type smallGroupPrepared struct {
 	tables       []sampleSource // indexed by ColumnMeta.Index
 	overall      sampleSource
 	overallScale float64 // 1 when the overall sample carries per-row weights
+	// dataGen is the ingest data generation the samples reflect: the number
+	// of ingest batches whose rows are represented in the sample family.
+	// Zero for freshly pre-processed or pre-ingest state.
+	dataGen uint64
 	// sharedDims holds the renormalized storage's shared reduced dimension
 	// tables (nil for flat join synopses).
 	sharedDims []*engine.Table
@@ -51,6 +55,9 @@ type smallGroupPrepared struct {
 
 // Meta exposes the metadata catalog (used by experiments and the CLI).
 func (p *smallGroupPrepared) Meta() *Metadata { return p.meta }
+
+// DataGeneration returns the ingest data generation baked into the samples.
+func (p *smallGroupPrepared) DataGeneration() uint64 { return p.dataGen }
 
 // SetWorkers implements WorkerConfigurable: it sets the runtime worker
 // budget used by every subsequent Answer call (see SmallGroupConfig.Workers).
@@ -142,8 +149,12 @@ func (p *smallGroupPrepared) AnswerCtx(ctx context.Context, q *engine.Query) (*A
 	if tr != nil {
 		endStage()
 		tr.SetDegraded(degraded)
-		if n := p.db.NumRows(); n > 0 {
-			tr.SetSamplingFraction(float64(planRows(plan)) / float64(n))
+		// States restored from disk have no base data attached (p.db nil);
+		// they report rows read but no sampling fraction.
+		if p.db != nil {
+			if n := p.db.NumRows(); n > 0 {
+				tr.SetSamplingFraction(float64(planRows(plan)) / float64(n))
+			}
 		}
 	}
 	combined, rowsRead, err := ExecutePlanCtx(ctx, plan)

@@ -18,7 +18,10 @@ import (
 // base data.
 
 const storeMagic = "DSSG"
-const storeVersion = 1
+
+// storeVersion 2 adds the ingest data generation (a u64 after the runtime
+// configuration block); version-1 stores load with generation 0.
+const storeVersion = 2
 
 // Sanity caps on length prefixes. A truncated or corrupted header must
 // produce a descriptive error, not a multi-gigabyte allocation: every count
@@ -55,6 +58,7 @@ func SaveSmallGroup(w io.Writer, p Prepared) error {
 	putF64(bw, sgp.cfg.ConfidenceLevel)
 	putU32(bw, uint32(sgp.cfg.MaxTablesPerQuery))
 	putF64(bw, sgp.overallScale)
+	putU64(bw, sgp.dataGen)
 
 	// Metadata.
 	m := sgp.meta
@@ -119,7 +123,7 @@ func LoadSmallGroup(r io.Reader) (Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != storeVersion {
+	if version != 1 && version != storeVersion {
 		return nil, fmt.Errorf("core: unsupported store version %d", version)
 	}
 
@@ -138,6 +142,12 @@ func LoadSmallGroup(r io.Reader) (Prepared, error) {
 	overallScale, err := getF64(br)
 	if err != nil {
 		return nil, err
+	}
+	var dataGen uint64
+	if version >= 2 {
+		if dataGen, err = getU64(br); err != nil {
+			return nil, err
+		}
 	}
 
 	baseRows, err := getU64(br)
@@ -220,7 +230,7 @@ func LoadSmallGroup(r io.Reader) (Prepared, error) {
 		meta.AddPair(pm)
 	}
 
-	p := &smallGroupPrepared{meta: meta, cfg: cfg, overallScale: overallScale}
+	p := &smallGroupPrepared{meta: meta, cfg: cfg, overallScale: overallScale, dataGen: dataGen}
 	for i := 0; i < meta.Width(); i++ {
 		t, err := engine.ReadBinary(br)
 		if err != nil {

@@ -19,6 +19,7 @@ func craftStore(maxTables, ncols uint32, build func(w *bufio.Writer)) []byte {
 	putF64(w, 0.95)      // confidence level
 	putU32(w, maxTables) // MaxTablesPerQuery
 	putF64(w, 1)         // overall scale
+	putU64(w, 0)         // data generation (v2)
 	putU64(w, 1000)      // base rows
 	putU32(w, ncols)
 	if build != nil {

@@ -53,6 +53,21 @@ const (
 	// checksum + data) just before it is written; a DataHook may flip bits
 	// in place to plant on-disk corruption.
 	PointSnapshotChunk Point = "catalog.snapshot-chunk"
+
+	// I/O fault points for the ingestion write-ahead log, mirroring the
+	// snapshot points: append and sync take ErrHooks, record takes a
+	// DataHook that may corrupt the framed record before it hits disk.
+
+	// PointWALAppend fires before each WAL record write; an injected error
+	// simulates a short write or full disk mid-append.
+	PointWALAppend Point = "ingest.wal-append"
+	// PointWALSync fires before the per-append fsync; an injected error
+	// simulates a failed fsync (the batch must not be acknowledged).
+	PointWALSync Point = "ingest.wal-sync"
+	// PointWALRecord fires with each framed record (length + checksum +
+	// payload) just before it is written; a DataHook may flip bits to plant
+	// corruption the replay checksums must catch.
+	PointWALRecord Point = "ingest.wal-record"
 )
 
 // Hook is an injected fault. ctx is the execution context of the hook site

@@ -1,0 +1,237 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dynsample/internal/engine"
+)
+
+// Batch record format (the payload inside one WAL record):
+//
+//	[version u8][seq u64][id len u16][id][nrows u32][ncols u32]
+//	then nrows*ncols values, row-major, each
+//	[type u8][int64 | float64 bits | len u32 + bytes]
+//
+// Values are in the database's view column order (engine.Database.Columns),
+// the same order the Appender consumes. Every count is capped before it
+// sizes an allocation: the decoder sees bytes that already passed the WAL
+// checksum, but the caps keep a logic bug — or a hostile file dropped into
+// the wal dir — from turning into a multi-gigabyte allocation.
+const (
+	batchVersion = 1
+
+	maxBatchRows = 1 << 18 // rows per batch
+	maxBatchCols = 1 << 12 // columns per row
+	maxBatchID   = 1 << 10 // client batch id bytes
+	maxValueLen  = 1 << 20 // string value bytes
+)
+
+// Batch is one decoded ingest batch.
+type Batch struct {
+	// Seq is the coordinator-assigned sequence number (1-based, contiguous).
+	Seq uint64
+	// ID is the client's idempotency key; may be empty.
+	ID string
+	// Rows are the appended rows in view column order.
+	Rows [][]engine.Value
+}
+
+// EncodeBatch serialises a batch into a WAL record payload.
+func EncodeBatch(b *Batch) ([]byte, error) {
+	if len(b.Rows) == 0 || len(b.Rows) > maxBatchRows {
+		return nil, fmt.Errorf("ingest: batch has %d rows, want 1..%d", len(b.Rows), maxBatchRows)
+	}
+	ncols := len(b.Rows[0])
+	if ncols == 0 || ncols > maxBatchCols {
+		return nil, fmt.Errorf("ingest: batch has %d columns, want 1..%d", ncols, maxBatchCols)
+	}
+	if len(b.ID) > maxBatchID {
+		return nil, fmt.Errorf("ingest: batch id is %d bytes, max %d", len(b.ID), maxBatchID)
+	}
+	out := make([]byte, 0, 32+len(b.Rows)*ncols*9)
+	out = append(out, batchVersion)
+	out = binary.LittleEndian.AppendUint64(out, b.Seq)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(b.ID)))
+	out = append(out, b.ID...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.Rows)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(ncols))
+	for _, row := range b.Rows {
+		if len(row) != ncols {
+			return nil, fmt.Errorf("ingest: ragged batch: row has %d values, want %d", len(row), ncols)
+		}
+		for _, v := range row {
+			out = append(out, byte(v.T))
+			switch v.T {
+			case engine.Int:
+				out = binary.LittleEndian.AppendUint64(out, uint64(v.I))
+			case engine.Float:
+				out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v.F))
+			case engine.String:
+				if len(v.S) > maxValueLen {
+					return nil, fmt.Errorf("ingest: string value is %d bytes, max %d", len(v.S), maxValueLen)
+				}
+				out = binary.LittleEndian.AppendUint32(out, uint32(len(v.S)))
+				out = append(out, v.S...)
+			default:
+				return nil, fmt.Errorf("ingest: unsupported value type %d", v.T)
+			}
+		}
+	}
+	return out, nil
+}
+
+// DecodeBatch parses a WAL record payload. Every length is validated
+// against both its cap and the remaining input before it is trusted.
+func DecodeBatch(p []byte) (*Batch, error) {
+	d := decoder{buf: p}
+	ver, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != batchVersion {
+		return nil, fmt.Errorf("ingest: unsupported batch version %d", ver)
+	}
+	b := &Batch{}
+	if b.Seq, err = d.u64(); err != nil {
+		return nil, err
+	}
+	idLen, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(idLen) > maxBatchID {
+		return nil, fmt.Errorf("ingest: batch id length %d exceeds %d", idLen, maxBatchID)
+	}
+	id, err := d.bytes(int(idLen))
+	if err != nil {
+		return nil, err
+	}
+	b.ID = string(id)
+	nrows, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nrows == 0 || nrows > maxBatchRows {
+		return nil, fmt.Errorf("ingest: batch row count %d out of range (1..%d)", nrows, maxBatchRows)
+	}
+	ncols, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ncols == 0 || ncols > maxBatchCols {
+		return nil, fmt.Errorf("ingest: batch column count %d out of range (1..%d)", ncols, maxBatchCols)
+	}
+	// Each value is at least 2 bytes on the wire; reject impossible counts
+	// before allocating row storage proportional to them.
+	if uint64(nrows)*uint64(ncols)*2 > uint64(len(d.buf)-d.off) {
+		return nil, fmt.Errorf("ingest: batch declares %d values but only %d bytes remain", uint64(nrows)*uint64(ncols), len(d.buf)-d.off)
+	}
+	b.Rows = make([][]engine.Value, nrows)
+	for r := range b.Rows {
+		row := make([]engine.Value, ncols)
+		for c := range row {
+			t, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			switch engine.Type(t) {
+			case engine.Int:
+				u, err := d.u64()
+				if err != nil {
+					return nil, err
+				}
+				row[c] = engine.IntVal(int64(u))
+			case engine.Float:
+				u, err := d.u64()
+				if err != nil {
+					return nil, err
+				}
+				f := math.Float64frombits(u)
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					return nil, fmt.Errorf("ingest: non-finite float value in batch")
+				}
+				row[c] = engine.FloatVal(f)
+			case engine.String:
+				n, err := d.u32()
+				if err != nil {
+					return nil, err
+				}
+				if n > maxValueLen {
+					return nil, fmt.Errorf("ingest: string value length %d exceeds %d", n, maxValueLen)
+				}
+				s, err := d.bytes(int(n))
+				if err != nil {
+					return nil, err
+				}
+				row[c] = engine.StringVal(string(s))
+			default:
+				return nil, fmt.Errorf("ingest: unsupported value type %d", t)
+			}
+		}
+		b.Rows[r] = row
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("ingest: %d trailing bytes after batch", len(d.buf)-d.off)
+	}
+	return b, nil
+}
+
+// decoder is a bounds-checked cursor over a record payload.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if len(d.buf)-d.off < n {
+		return fmt.Errorf("ingest: truncated batch record (need %d bytes, have %d)", n, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if err := d.need(n); err != nil {
+		return nil, err
+	}
+	v := d.buf[d.off : d.off+n]
+	d.off += n
+	return v, nil
+}

@@ -1,0 +1,294 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+)
+
+// ErrOverloaded is returned when more ingest requests are in flight than the
+// configured pending bound; callers should retry after backing off (the HTTP
+// layer maps it to 503 + Retry-After).
+var ErrOverloaded = errors.New("ingest: too many pending batches")
+
+// ErrDuplicate reports that a batch id was already applied; the stats
+// returned alongside it are the original application's. Retried requests
+// (client timeout, at-least-once delivery) land here instead of appending
+// rows twice.
+var ErrDuplicate = errors.New("ingest: duplicate batch id")
+
+// Config tunes a Coordinator. The zero value is usable given a Strategy
+// registered on the System.
+type Config struct {
+	// Strategy names the prepared state to maintain online. Empty means
+	// "smallgroup".
+	Strategy string
+	// Online parameterises the core maintenance layer. Online.Seed must be
+	// stable across restarts of the same WAL for bit-identical replay.
+	Online core.OnlineConfig
+	// MaxPending bounds ingest requests admitted concurrently (applying plus
+	// waiting on the writer lock); excess requests fail fast with
+	// ErrOverloaded. Zero means 64.
+	MaxPending int
+	// DriftBound is the drift-gauge level at which OnDrift fires (serve
+	// slightly-stale-but-correct answers below it, rebuild above). Zero means
+	// 1.0; negative disables the trigger.
+	DriftBound float64
+	// IdempotencyWindow is how many recent batch ids are remembered for
+	// duplicate detection. Zero means 4096.
+	IdempotencyWindow int
+	// OnDrift, when non-nil, is called (on its own goroutine, at most once
+	// per rebuild cycle) when the drift gauge crosses DriftBound. The server
+	// wires it to a background rebuild.
+	OnDrift func(drift float64)
+}
+
+// Coordinator is the single-writer ingest pipeline: validate → WAL append +
+// fsync → in-memory apply → publish. One mutex serialises the write path;
+// queries never take it — they read the atomically published versions in
+// core.System. It also owns the rebuild handshake: batches ingested while a
+// rebuild runs are buffered as the tail and re-applied onto the fresh state.
+type Coordinator struct {
+	sys *core.System
+	wal *WAL
+	cfg Config
+
+	pending atomic.Int64
+
+	mu     sync.Mutex
+	online *core.Online
+
+	// Idempotency LRU: ids in arrival order, evicting the oldest.
+	ids    map[string]core.BatchStats
+	order  []string
+	oldest int
+
+	rebuilding bool
+	tail       []core.TailBatch
+	driftFired bool
+}
+
+// New attaches a coordinator to the system's prepared state. Call after the
+// strategy is registered (fresh Preprocess or snapshot restore) and the WAL
+// is open, then ReplayWAL before serving ingest traffic.
+func New(sys *core.System, wal *WAL, cfg Config) (*Coordinator, error) {
+	if cfg.Strategy == "" {
+		cfg.Strategy = "smallgroup"
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 64
+	}
+	if cfg.DriftBound == 0 {
+		cfg.DriftBound = 1.0
+	}
+	if cfg.IdempotencyWindow <= 0 {
+		cfg.IdempotencyWindow = 4096
+	}
+	online, err := core.NewOnline(sys, cfg.Strategy, cfg.Online)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		sys:    sys,
+		wal:    wal,
+		cfg:    cfg,
+		online: online,
+		ids:    make(map[string]core.BatchStats, cfg.IdempotencyWindow),
+	}
+	obsDataGen.Set(float64(online.DataGeneration()))
+	obsDrift.Set(online.Drift())
+	return c, nil
+}
+
+// ReplayWAL re-applies every durable batch from the WAL, in order, onto the
+// regenerated base data. Batches at or below the restored sample
+// generation update the base only (their rows are already baked into the
+// snapshot's samples); later batches replay in full. Batch ids are fed into
+// the idempotency window so client retries spanning a restart are still
+// deduplicated. Returns the number of batches applied and whether a torn
+// tail was discarded.
+func (c *Coordinator) ReplayWAL() (batches int, torn bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	records, torn, err := Replay(c.wal.Dir(), func(payload []byte) error {
+		b, err := DecodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if want := c.online.DataGeneration() + 1; b.Seq != want {
+			return fmt.Errorf("%w: batch sequence %d, want %d", ErrCorrupt, b.Seq, want)
+		}
+		st, err := c.online.Apply(b.Seq, b.Rows)
+		if err != nil {
+			return fmt.Errorf("ingest: replaying batch %d: %w", b.Seq, err)
+		}
+		if b.ID != "" {
+			c.remember(b.ID, st)
+		}
+		obsReplayed.Inc()
+		return nil
+	})
+	if err != nil {
+		return records, torn, err
+	}
+	obsDataGen.Set(float64(c.online.DataGeneration()))
+	obsDrift.Set(c.online.Drift())
+	return records, torn, nil
+}
+
+// Ingest appends one batch of rows (view column order) with the given
+// idempotency id (may be empty). On success the batch is durable in the WAL
+// and visible to queries. A repeated id returns the original stats with
+// ErrDuplicate; overload returns ErrOverloaded without touching anything.
+func (c *Coordinator) Ingest(id string, rows [][]engine.Value) (core.BatchStats, error) {
+	var zero core.BatchStats
+	if n := c.pending.Add(1); n > int64(c.cfg.MaxPending) {
+		c.pending.Add(-1)
+		obsBatches.With("overload").Inc()
+		return zero, ErrOverloaded
+	}
+	defer c.pending.Add(-1)
+	if len(rows) == 0 {
+		obsBatches.With("invalid").Inc()
+		return zero, errors.New("ingest: empty batch")
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id != "" {
+		if st, ok := c.ids[id]; ok {
+			obsBatches.With("duplicate").Inc()
+			return st, ErrDuplicate
+		}
+	}
+	// Validate before the WAL append: a record acknowledged to disk must be
+	// guaranteed to apply on replay.
+	if err := c.online.Validate(rows); err != nil {
+		obsBatches.With("invalid").Inc()
+		return zero, err
+	}
+	seq := c.online.DataGeneration() + 1
+	payload, err := EncodeBatch(&Batch{Seq: seq, ID: id, Rows: rows})
+	if err != nil {
+		obsBatches.With("invalid").Inc()
+		return zero, err
+	}
+	if err := c.wal.Append(payload); err != nil {
+		obsBatches.With("error").Inc()
+		return zero, err
+	}
+	st, err := c.online.Apply(seq, rows)
+	if err != nil {
+		// The record is durable but the in-memory apply failed — state the
+		// WAL considers acknowledged is missing from memory. Restarting
+		// replays it; until then refuse further appends on this sequence.
+		obsBatches.With("error").Inc()
+		return zero, fmt.Errorf("ingest: batch %d logged but not applied (restart to replay): %w", seq, err)
+	}
+	if id != "" {
+		c.remember(id, st)
+	}
+	if c.rebuilding {
+		c.tail = append(c.tail, core.TailBatch{Seq: seq, Rows: rows})
+	}
+	obsBatches.With("ok").Inc()
+	obsRows.Add(uint64(st.Rows))
+	obsReservoirSwaps.Add(uint64(st.ReservoirSwaps))
+	obsSmallGroupInserts.Add(uint64(st.SmallGroupInserts))
+	obsDataGen.Set(float64(st.DataGeneration))
+	obsDrift.Set(st.Drift)
+	if c.cfg.OnDrift != nil && c.cfg.DriftBound > 0 &&
+		st.Drift >= c.cfg.DriftBound && !c.driftFired && !c.rebuilding {
+		c.driftFired = true
+		go c.cfg.OnDrift(st.Drift)
+	}
+	return st, nil
+}
+
+// SetOnDrift installs (or replaces) the drift-trigger callback after
+// construction. The server uses it to point the trigger at its own rebuild
+// once both sides exist; call before serving ingest traffic.
+func (c *Coordinator) SetOnDrift(fn func(drift float64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.OnDrift = fn
+}
+
+// remember records a batch id in the idempotency LRU, evicting the oldest
+// once the window is full.
+func (c *Coordinator) remember(id string, st core.BatchStats) {
+	if len(c.order) < c.cfg.IdempotencyWindow {
+		c.order = append(c.order, id)
+	} else {
+		delete(c.ids, c.order[c.oldest])
+		c.order[c.oldest] = id
+		c.oldest = (c.oldest + 1) % len(c.order)
+	}
+	c.ids[id] = st
+}
+
+// Generation returns the current data generation (ingest batches applied).
+func (c *Coordinator) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.online.DataGeneration()
+}
+
+// Drift returns the current drift gauge (see core.Online.Drift).
+func (c *Coordinator) Drift() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.online.Drift()
+}
+
+// BeginRebuild pins the current database version for a background rebuild
+// and starts buffering subsequent batches as the tail. Exactly one rebuild
+// may be in flight; a second call fails until CompleteRebuild or
+// AbortRebuild.
+func (c *Coordinator) BeginRebuild() (*engine.Database, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rebuilding {
+		return nil, 0, errors.New("ingest: rebuild already in progress")
+	}
+	c.rebuilding = true
+	c.tail = nil
+	db, gen := c.sys.Data()
+	return db, gen, nil
+}
+
+// CompleteRebuild installs the freshly pre-processed state (built from the
+// database version BeginRebuild pinned at generation rebuiltAt), re-applies
+// the buffered tail sample-side, publishes the result, and re-arms the
+// drift trigger. Ingest is paused for the duration of the rebase only — the
+// expensive Preprocess ran outside the lock.
+func (c *Coordinator) CompleteRebuild(p core.Prepared, rebuiltAt uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.rebuilding {
+		return errors.New("ingest: no rebuild in progress")
+	}
+	err := c.online.Rebase(p, rebuiltAt, c.tail)
+	c.rebuilding = false
+	c.tail = nil
+	c.driftFired = false
+	if err != nil {
+		return err
+	}
+	obsDrift.Set(c.online.Drift())
+	return nil
+}
+
+// AbortRebuild abandons an in-flight rebuild, discarding the buffered tail
+// and re-arming the drift trigger.
+func (c *Coordinator) AbortRebuild() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rebuilding = false
+	c.tail = nil
+	c.driftFired = false
+}

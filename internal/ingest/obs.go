@@ -1,0 +1,30 @@
+package ingest
+
+import "dynsample/internal/obs"
+
+// The ingest metric family. Rates (rows, batches by outcome), the sample
+// maintenance effects (reservoir swaps, small-group inserts), the drift
+// gauge the rebuild policy acts on, and the WAL fsync latency histogram —
+// fsync dominates ingest latency, so it gets its own distribution with
+// sub-millisecond buckets.
+var (
+	obsRows = obs.Default().Counter("aqp_ingest_rows_total",
+		"Rows appended to the base data by acknowledged ingest batches.")
+	obsBatches = obs.Default().CounterVec("aqp_ingest_batches_total",
+		"Ingest batches by outcome (ok, duplicate, invalid, error, overload).", "status")
+	obsReservoirSwaps = obs.Default().Counter("aqp_ingest_reservoir_swaps_total",
+		"Overall-sample reservoir slots replaced by ingested rows.")
+	obsSmallGroupInserts = obs.Default().Counter("aqp_ingest_smallgroup_inserts_total",
+		"Rows inserted into small group tables by ingest.")
+	obsDrift = obs.Default().Gauge("aqp_ingest_drift",
+		"Common-set drift: heaviest rare value count over the t*N threshold; crossing 1 triggers a rebuild.")
+	obsDataGen = obs.Default().Gauge("aqp_ingest_data_generation",
+		"Ingest batches applied to the serving database version.")
+	obsReplayed = obs.Default().Counter("aqp_ingest_replayed_batches_total",
+		"Batches re-applied from the WAL at startup.")
+	obsWALFsync = obs.Default().Histogram("aqp_ingest_wal_fsync_seconds",
+		"WAL fsync latency per acknowledged batch.",
+		[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5})
+	obsWALSegments = obs.Default().Gauge("aqp_ingest_wal_segments",
+		"WAL segments created so far (the active segment included).")
+)

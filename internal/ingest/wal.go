@@ -1,0 +1,337 @@
+// Package ingest is the live ingestion subsystem: it accepts streamed row
+// appends and keeps both the base data and the prepared sample family
+// current without a full rebuild per batch.
+//
+// It has three layers:
+//
+//   - wal.go: a durable write-ahead log in the catalog's checksummed
+//     container style. Every acknowledged batch is one CRC32C-framed record,
+//     fsynced before the append is applied in memory; segments rotate at a
+//     size bound. On startup the log is replayed in order: a torn tail (a
+//     crash mid-append) in the final segment is detected by checksum and
+//     truncated, while corruption in any earlier segment is a hard error —
+//     an acknowledged batch that went missing is data loss, not a crash
+//     artifact.
+//   - codec.go: the batch record format — sequence number, client batch id,
+//     and typed row values, with hostile-length caps on every count so a
+//     corrupt record yields an error, not a multi-gigabyte allocation.
+//   - coordinator.go: the single-writer pipeline gluing the WAL to
+//     core.Online (WAL append → fsync → in-memory apply → publish), with
+//     request-id idempotency, bounded backpressure, drift-triggered rebuild
+//     hand-off, and startup replay.
+//
+// The WAL is the system of record for ingested rows: the sample catalog
+// persists only the derived sample family, and the base data is regenerated
+// at startup, so segments are never deleted once written.
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"dynsample/internal/faults"
+)
+
+// WAL format constants. Each segment is the 8-byte magic followed by framed
+// records [len u32][crc32c over (len||payload) u32][payload]. The magic is
+// versioned; a future format bump changes the trailing digits.
+const (
+	segMagic   = "DSWAL001"
+	segPattern = "wal-%010d.seg"
+
+	// maxRecordSize bounds both a legitimate encoded batch and what replay
+	// will allocate on the word of an unverified length prefix.
+	maxRecordSize = 16 << 20
+
+	// defaultSegBytes rotates segments at 64 MiB so a torn tail is always
+	// confined to a bounded final file.
+	defaultSegBytes = 64 << 20
+)
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt wraps every integrity failure found while reading the WAL that
+// is not an ignorable torn tail: a bad magic, a checksum mismatch or
+// truncation in a non-final segment.
+var ErrCorrupt = errors.New("ingest: corrupt wal")
+
+func walCorruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// WAL is a segmented, fsync-per-append write-ahead log. It is not
+// internally synchronised: the coordinator serialises all appends.
+type WAL struct {
+	dir      string
+	f        *os.File
+	segIndex uint64
+	segBytes int64
+	maxBytes int64
+	recIndex int // running record count, for fault-hook indexing
+}
+
+// OpenWAL opens (or creates) the log in dir and prepares it for appending.
+// If the newest segment ends in a torn record — the signature of a crash
+// mid-append — the tail is truncated to the last whole record before the
+// segment is reopened for writing, so the damage cannot propagate under new
+// appends. Call Replay before appending to rebuild in-memory state.
+func OpenWAL(dir string) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: creating wal dir: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, maxBytes: defaultSegBytes}
+	if len(segs) == 0 {
+		if err := w.openSegment(0); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	last := segs[len(segs)-1]
+	valid, _, err := scanSegment(filepath.Join(dir, segName(last)), nil)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: opening wal segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > valid {
+		// Torn tail from a crashed append: cut it before new records land
+		// behind it, and make the cut durable.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: truncating torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: fsync after tail truncation: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.f, w.segIndex, w.segBytes = f, last, valid
+	if w.segBytes >= w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Dir returns the directory the log lives in.
+func (w *WAL) Dir() string { return w.dir }
+
+// Append frames payload as one record, writes it to the active segment and
+// fsyncs before returning. A nil error means the record is durable: a crash
+// after Append returns cannot lose the batch. Fault points: PointWALRecord
+// (DataHook) may corrupt the frame, PointWALAppend / PointWALSync (ErrHooks)
+// inject write and fsync failures.
+func (w *WAL) Append(payload []byte) error {
+	if w.f == nil {
+		return errors.New("ingest: wal is closed")
+	}
+	if len(payload) == 0 || len(payload) > maxRecordSize {
+		return fmt.Errorf("ingest: wal record size %d out of range (1..%d)", len(payload), maxRecordSize)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	copy(frame[8:], payload)
+	crc := crc32.Update(0, walCRC, frame[0:4])
+	crc = crc32.Update(crc, walCRC, payload)
+	binary.LittleEndian.PutUint32(frame[4:8], crc)
+	faults.FireData(faults.PointWALRecord, w.recIndex, frame)
+	if err := faults.FireErr(faults.PointWALAppend, w.recIndex); err != nil {
+		return fmt.Errorf("ingest: wal append: %w", err)
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("ingest: wal append: %w", err)
+	}
+	if err := faults.FireErr(faults.PointWALSync, w.recIndex); err != nil {
+		return fmt.Errorf("ingest: wal fsync: %w", err)
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: wal fsync: %w", err)
+	}
+	obsWALFsync.Observe(time.Since(start).Seconds())
+	w.recIndex++
+	w.segBytes += int64(len(frame))
+	if w.segBytes >= w.maxBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// Close flushes and closes the active segment.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// rotate seals the active segment and starts the next one.
+func (w *WAL) rotate() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: sealing wal segment: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("ingest: sealing wal segment: %w", err)
+	}
+	w.f = nil
+	return w.openSegment(w.segIndex + 1)
+}
+
+// openSegment creates segment idx, writes its magic, fsyncs it and the
+// directory (so the new file survives a crash), and makes it active.
+func (w *WAL) openSegment(idx uint64) error {
+	path := filepath.Join(w.dir, segName(idx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: creating wal segment: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("ingest: writing wal segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ingest: fsync wal segment header: %w", err)
+	}
+	if d, derr := os.Open(w.dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	w.f, w.segIndex, w.segBytes = f, idx, int64(len(segMagic))
+	obsWALSegments.Set(float64(idx + 1))
+	return nil
+}
+
+func segName(idx uint64) string { return fmt.Sprintf(segPattern, idx) }
+
+// listSegments returns the segment indices present in dir, sorted
+// ascending. Gaps in the sequence are a hard error: a missing middle
+// segment means acknowledged batches are gone.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listing wal dir: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		var idx uint64
+		if _, err := fmt.Sscanf(e.Name(), segPattern, &idx); err == nil && e.Name() == segName(idx) {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for i, idx := range segs {
+		if idx != segs[0]+uint64(i) {
+			return nil, walCorruptf("segment sequence has a gap: missing %s", segName(segs[0]+uint64(i)))
+		}
+	}
+	return segs, nil
+}
+
+// scanSegment reads one segment, calling fn (if non-nil) with each record
+// payload that passes its checksum, and returns the byte offset just past
+// the last valid record. A clean segment returns (size, true, nil); a torn
+// or corrupt tail returns the valid prefix length with ok=false and no
+// error — the caller decides whether a dirty tail is tolerable (final
+// segment) or fatal (earlier segment). Only I/O failures and a bad magic
+// return an error.
+func scanSegment(path string, fn func(payload []byte) error) (valid int64, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, fmt.Errorf("ingest: opening wal segment: %w", err)
+	}
+	defer f.Close()
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		// A segment too short to hold its magic can only be a torn creation
+		// of the newest segment; report it as an empty dirty segment.
+		return 0, false, nil
+	}
+	if string(magic) != segMagic {
+		return 0, false, walCorruptf("%s: bad segment magic %q", filepath.Base(path), magic)
+	}
+	valid = int64(len(segMagic))
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return valid, true, nil
+			}
+			return valid, false, nil // torn header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecordSize {
+			return valid, false, nil // corrupt length prefix
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return valid, false, nil // torn body
+		}
+		want := crc32.Update(0, walCRC, hdr[0:4])
+		want = crc32.Update(want, walCRC, payload)
+		if crc != want {
+			return valid, false, nil // flipped bits
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return valid, false, err
+			}
+		}
+		valid += int64(8 + length)
+	}
+}
+
+// Replay reads every durable record in dir in append order and hands its
+// payload to fn. A torn or corrupt tail is tolerated only in the final
+// segment (the only place a crash mid-append can leave one) and reported
+// via the returned torn flag; the same damage in an earlier segment returns
+// an error wrapping ErrCorrupt. An error from fn aborts the replay.
+func Replay(dir string, fn func(payload []byte) error) (records int, torn bool, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, false, err
+	}
+	for i, idx := range segs {
+		path := filepath.Join(dir, segName(idx))
+		_, clean, err := scanSegment(path, func(p []byte) error {
+			records++
+			return fn(p)
+		})
+		if err != nil {
+			return records, false, err
+		}
+		if !clean {
+			if i != len(segs)-1 {
+				return records, false, walCorruptf("%s: corrupt record in non-final segment", segName(idx))
+			}
+			return records, true, nil
+		}
+	}
+	return records, false, nil
+}

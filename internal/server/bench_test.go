@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dynsample/internal/core"
+	"dynsample/internal/ingest"
+)
+
+// benchQuery posts one /v1/query and fails the benchmark on any non-200.
+func benchQuery(b *testing.B, url string, body []byte) {
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkConcurrentQuery measures parallel query throughput through the
+// whole HTTP stack. The baseline has no ingestion configured; the
+// with-ingest variant runs the same queries while a writer streams batches,
+// so bench.sh can show the ingest subsystem leaves query latency within
+// noise.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT region, COUNT(*), SUM(amount) FROM T GROUP BY region"})
+
+	b.Run("Baseline", func(b *testing.B) {
+		sys := testSystem(b, core.SmallGroupConfig{Workers: 4})
+		srv := httptest.NewServer(New(sys, Config{}).Handler())
+		defer srv.Close()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				benchQuery(b, srv.URL, body)
+			}
+		})
+	})
+
+	b.Run("WithIngestLoad", func(b *testing.B) {
+		sys := testSystem(b, core.SmallGroupConfig{
+			Workers: 4, BaseRate: 0.05, SmallGroupFraction: 0.05, DistinctLimit: 2000,
+		})
+		w, err := ingest.OpenWAL(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		coord, err := ingest.New(sys, w, ingest.Config{
+			Online: core.OnlineConfig{Seed: 9, SmallGroupFraction: 0.05},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(New(sys, Config{Ingest: coord}).Handler())
+		defer srv.Close()
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			row := [][]json.RawMessage{{json.RawMessage(`"rb"`), json.RawMessage(`3.5`)}}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ib, _ := json.Marshal(IngestRequest{Rows: row, BatchID: fmt.Sprintf("bench-%d", i)})
+				resp, err := http.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader(ib))
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				benchQuery(b, srv.URL, body)
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/ingest"
+)
+
+// maxIngestBody bounds one POST /ingest request body; a batch larger than
+// this should be split client-side (the WAL caps records at 16 MiB anyway).
+const maxIngestBody = 8 << 20
+
+// IngestRequest is the body of POST /ingest: rows in the base view's column
+// order (see GET /columns). BatchID (or, when absent, the client's
+// X-Request-ID header) makes the request idempotent: retrying the same id
+// within the server's idempotency window returns the original outcome
+// instead of appending the rows twice.
+type IngestRequest struct {
+	// Columns, when present, must name the view columns in the exact order
+	// the rows use. It exists so clients can assert their ordering
+	// assumption; it does not reorder anything.
+	Columns []string `json:"columns,omitempty"`
+	// Rows are the values to append, one array per row, typed as the view
+	// columns are (JSON strings for string columns, numbers for int and
+	// float columns; int cells must be integral).
+	Rows [][]json.RawMessage `json:"rows"`
+	// BatchID is the idempotency key; empty falls back to the X-Request-ID
+	// header.
+	BatchID string `json:"batch_id,omitempty"`
+}
+
+// IngestResponse is the body of POST /ingest.
+type IngestResponse struct {
+	// Rows is how many rows the acknowledged batch appended.
+	Rows int `json:"rows"`
+	// Generation is the data generation after this batch (ingest batches
+	// applied since startup); query responses echo the generation they
+	// answered from.
+	Generation uint64 `json:"generation"`
+	// Duplicate is true when this batch id was already applied; the other
+	// fields report the original application.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// ReservoirSwaps and SmallGroupInserts report the batch's sample
+	// maintenance effects (how many overall-sample slots it replaced, how
+	// many rows went into small group tables).
+	ReservoirSwaps    int `json:"reservoirSwaps"`
+	SmallGroupInserts int `json:"smallGroupInserts"`
+	// Drift is the common-set drift gauge after this batch; the server
+	// schedules a background rebuild when it crosses the configured bound.
+	Drift float64 `json:"drift"`
+}
+
+// handleIngest implements POST /ingest: decode + type-check the rows against
+// the view schema, hand them to the coordinator (WAL append + online sample
+// maintenance), and report the batch's effect. Overload maps to 503 +
+// Retry-After like query shedding; duplicates are a 200 with the original
+// stats so retries are safe.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ing := s.cfg.Ingest
+	if ing == nil {
+		writeError(w, http.StatusNotImplemented, CodeUnimplemented,
+			errors.New("ingestion not configured (start the server with -wal-dir)"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBody)
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	cols := s.sys.DB().Columns()
+	if req.Columns != nil {
+		if len(req.Columns) != len(cols) {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("columns has %d names, view has %d (%v)", len(req.Columns), len(cols), cols))
+			return
+		}
+		for i, name := range req.Columns {
+			if name != cols[i] {
+				writeError(w, http.StatusBadRequest, CodeBadRequest,
+					fmt.Errorf("columns[%d] = %q, view order is %v", i, name, cols))
+				return
+			}
+		}
+	}
+	rows, err := s.decodeIngestRows(cols, req.Rows)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	id := req.BatchID
+	if id == "" {
+		id = sanitizeRequestID(r.Header.Get("X-Request-ID"))
+	}
+	st, err := ing.Ingest(id, rows)
+	switch {
+	case errors.Is(err, ingest.ErrDuplicate):
+		writeJSON(w, IngestResponse{
+			Rows:              st.Rows,
+			Generation:        st.DataGeneration,
+			Duplicate:         true,
+			ReservoirSwaps:    st.ReservoirSwaps,
+			SmallGroupInserts: st.SmallGroupInserts,
+			Drift:             st.Drift,
+		})
+	case errors.Is(err, ingest.ErrOverloaded):
+		retry := s.cfg.RetryAfter
+		if retry <= 0 {
+			retry = time.Second
+		}
+		secs := int(retry.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeErrorRetry(w, http.StatusServiceUnavailable, CodeOverloaded, int64(secs)*1000, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+	default:
+		writeJSON(w, IngestResponse{
+			Rows:              st.Rows,
+			Generation:        st.DataGeneration,
+			ReservoirSwaps:    st.ReservoirSwaps,
+			SmallGroupInserts: st.SmallGroupInserts,
+			Drift:             st.Drift,
+		})
+	}
+}
+
+// decodeIngestRows converts JSON cells to typed engine values against the
+// view schema. Numbers are parsed via json.Number so int columns reject both
+// strings and non-integral numbers instead of silently truncating.
+func (s *Server) decodeIngestRows(cols []string, raw [][]json.RawMessage) ([][]engine.Value, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("empty batch: rows is required")
+	}
+	types := make([]engine.Type, len(cols))
+	for i, name := range cols {
+		t, err := s.sys.DB().ColumnType(name)
+		if err != nil {
+			return nil, err
+		}
+		types[i] = t
+	}
+	rows := make([][]engine.Value, len(raw))
+	for ri, cells := range raw {
+		if len(cells) != len(cols) {
+			return nil, fmt.Errorf("rows[%d] has %d values, view has %d columns (%v)", ri, len(cells), len(cols), cols)
+		}
+		row := make([]engine.Value, len(cells))
+		for ci, cell := range cells {
+			v, err := decodeCell(types[ci], cell)
+			if err != nil {
+				return nil, fmt.Errorf("rows[%d][%d] (column %q): %w", ri, ci, cols[ci], err)
+			}
+			row[ci] = v
+		}
+		rows[ri] = row
+	}
+	return rows, nil
+}
+
+func decodeCell(t engine.Type, cell json.RawMessage) (engine.Value, error) {
+	switch t {
+	case engine.String:
+		var s string
+		if err := json.Unmarshal(cell, &s); err != nil {
+			return engine.Value{}, fmt.Errorf("want a JSON string, got %s", cell)
+		}
+		return engine.StringVal(s), nil
+	case engine.Int:
+		var n json.Number
+		if err := json.Unmarshal(cell, &n); err != nil {
+			return engine.Value{}, fmt.Errorf("want a JSON integer, got %s", cell)
+		}
+		i, err := n.Int64()
+		if err != nil {
+			return engine.Value{}, fmt.Errorf("want an integer, got %s", n)
+		}
+		return engine.IntVal(i), nil
+	case engine.Float:
+		var n json.Number
+		if err := json.Unmarshal(cell, &n); err != nil {
+			return engine.Value{}, fmt.Errorf("want a JSON number, got %s", cell)
+		}
+		f, err := n.Float64()
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.FloatVal(f), nil
+	default:
+		return engine.Value{}, fmt.Errorf("unsupported column type %v", t)
+	}
+}

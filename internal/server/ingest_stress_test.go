@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"net/http/httptest"
+
+	"dynsample/internal/core"
+	"dynsample/internal/ingest"
+)
+
+// TestIngestQueryRebuildStress drives concurrent ingest writers, query
+// readers, and admin rebuilds against one server under the race detector.
+// Requirements: zero failed queries, zero failed ingests (overload and
+// rebuild-conflict rejections are allowed, errors are not), and — once the
+// writers drain and a final rebuild lands — answers that exactly match a
+// cold rebuild of the same data, proving the online maintenance left the
+// sample family consistent with the base it grew.
+func TestIngestQueryRebuildStress(t *testing.T) {
+	srv, coord, sys := ingestServer(t, ingest.Config{Online: core.OnlineConfig{Seed: 44}})
+	const writers = 4
+	const batchesPerWriter = 25
+	const readers = 8
+
+	post := func(path string, body any) (int, []byte, error) {
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, out, err
+	}
+
+	var wg sync.WaitGroup
+	var queryFailures, ingestFailures atomic.Int64
+	stop := make(chan struct{})
+
+	// Readers hammer /query and /exact until the writers drain; any non-200
+	// is a failure (load shedding is off in this fixture).
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sqls := []string{
+				"SELECT region, COUNT(*) FROM T GROUP BY region",
+				"SELECT region, SUM(amount) FROM T GROUP BY region",
+			}
+			paths := []string{"/v1/query", "/v1/exact"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, body, err := post(paths[i%2], QueryRequest{SQL: sqls[(r+i)%2]})
+				if err != nil || code != http.StatusOK {
+					queryFailures.Add(1)
+					t.Errorf("reader %d: code=%d err=%v body=%s", r, code, err, body)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writers stream batches: mostly known regions, plus writer-specific new
+	// ones, so reservoir swaps, small-group inserts and drift all move.
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for b := 0; b < batchesPerWriter; b++ {
+				rows := make([][]json.RawMessage, 20)
+				for i := range rows {
+					region := fmt.Sprintf("w%d", w)
+					if rng.Intn(3) == 0 {
+						region = "r" + string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26)))
+					}
+					rows[i] = []json.RawMessage{
+						json.RawMessage(fmt.Sprintf("%q", region)),
+						json.RawMessage(fmt.Sprintf("%.2f", rng.Float64()*50)),
+					}
+				}
+				id := fmt.Sprintf("w%d-b%d", w, b)
+				for {
+					code, body, err := post("/v1/ingest", IngestRequest{Rows: rows, BatchID: id})
+					if err != nil {
+						ingestFailures.Add(1)
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+					if code == http.StatusServiceUnavailable {
+						continue // backpressure: retry the same id
+					}
+					if code != http.StatusOK {
+						ingestFailures.Add(1)
+						t.Errorf("writer %d batch %d: status %d: %s", w, b, code, body)
+						return
+					}
+					break
+				}
+			}
+		}(w)
+	}
+
+	// A rebuild loop swaps generations under everything else. 409 conflicts
+	// with the drift-triggered rebuild are expected; errors are not.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			code, body, err := post("/v1/admin/rebuild", struct{}{})
+			if err != nil || (code != http.StatusOK && code != http.StatusConflict) {
+				t.Errorf("rebuild: code=%d err=%v body=%s", code, err, body)
+				return
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+	if queryFailures.Load() > 0 || ingestFailures.Load() > 0 {
+		t.Fatalf("%d query failures, %d ingest failures", queryFailures.Load(), ingestFailures.Load())
+	}
+
+	// Drain: one final rebuild so the samples are a pure function of the
+	// final base data, then compare every group against a cold preprocess of
+	// that same data. Retry while the drift-triggered rebuild finishes.
+	wantGen := coord.Generation()
+	if wantGen != writers*batchesPerWriter {
+		t.Fatalf("generation = %d, want %d (every batch exactly once)", wantGen, writers*batchesPerWriter)
+	}
+	for {
+		code, body, err := post("/v1/admin/rebuild", struct{}{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code == http.StatusOK {
+			break
+		}
+		if code != http.StatusConflict {
+			t.Fatalf("final rebuild: status %d: %s", code, body)
+		}
+	}
+
+	code, body, err := post("/v1/query", QueryRequest{SQL: "SELECT region, COUNT(*), SUM(amount) FROM T GROUP BY region"})
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("post-drain query: code=%d err=%v", code, err)
+	}
+	var live QueryResponse
+	if err := json.Unmarshal(body, &live); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold rebuild: preprocess the exact same final base data (immutable, so
+	// sharing it is safe) in a fresh system with the same config and seed,
+	// served by its own server, and compare group by group.
+	sgCfg := core.SmallGroupConfig{BaseRate: 0.05, SmallGroupFraction: 0.05, DistinctLimit: 2000, Seed: 1}
+	cold := core.NewSystem(sys.DB())
+	if err := cold.AddStrategy(core.NewSmallGroup(sgCfg)); err != nil {
+		t.Fatal(err)
+	}
+	coldSrv := httptest.NewServer(New(cold, Config{}).Handler())
+	defer coldSrv.Close()
+	b, _ := json.Marshal(QueryRequest{SQL: "SELECT region, COUNT(*), SUM(amount) FROM T GROUP BY region"})
+	resp, err := http.Post(coldSrv.URL+"/v1/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rec QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Groups) != len(live.Groups) {
+		t.Fatalf("cold rebuild has %d groups, live has %d", len(rec.Groups), len(live.Groups))
+	}
+	coldByKey := map[string]GroupJSON{}
+	for _, g := range rec.Groups {
+		coldByKey[g.Key[0]] = g
+	}
+	for _, g := range live.Groups {
+		cg, ok := coldByKey[g.Key[0]]
+		if !ok {
+			t.Fatalf("group %q missing from cold rebuild", g.Key[0])
+		}
+		if g.Exact != cg.Exact {
+			t.Errorf("group %q exactness: live=%v cold=%v", g.Key[0], g.Exact, cg.Exact)
+		}
+		for i := range g.Values {
+			if g.Values[i] != cg.Values[i] {
+				t.Errorf("group %q value %d: live=%g cold=%g", g.Key[0], i, g.Values[i], cg.Values[i])
+			}
+		}
+	}
+}

@@ -50,6 +50,8 @@ type RebuildConfig struct {
 	Workers int
 }
 
+func ptrOf(s string) *string { return &s }
+
 // ErrRebuildInProgress is returned when a rebuild is requested while
 // another one is still running; rebuilds are single-flight.
 var ErrRebuildInProgress = errors.New("server: rebuild already in progress")
@@ -111,9 +113,25 @@ func (s *Server) Rebuild() (RebuildStatus, error) {
 	}
 	defer s.health.rebuilding.Store(false)
 
+	// With an ingest coordinator the rebuild pins a database version and
+	// batches keep landing meanwhile; without one the base data is immutable
+	// and s.sys.DB() is the same thing.
+	db := s.sys.DB()
+	var pinnedGen uint64
+	if ing := s.cfg.Ingest; ing != nil {
+		var err error
+		db, pinnedGen, err = ing.BeginRebuild()
+		if err != nil {
+			obsRebuilds.With("conflict").Inc()
+			return st, fmt.Errorf("server: %w", err)
+		}
+	}
 	start := time.Now()
-	p, err := rb.Strategy.Preprocess(s.sys.DB())
+	p, err := rb.Strategy.Preprocess(db)
 	if err != nil {
+		if s.cfg.Ingest != nil {
+			s.cfg.Ingest.AbortRebuild()
+		}
 		msg := err.Error()
 		s.health.lastErr.Store(&msg)
 		obsRebuilds.With("error").Inc()
@@ -124,21 +142,46 @@ func (s *Server) Rebuild() (RebuildStatus, error) {
 	}
 	st.ElapsedMS = time.Since(start).Milliseconds()
 
-	// Persist first, then swap: if the save fails we still swap (fresh
-	// samples beat stale ones) but report the durability gap.
 	st.Generation = s.health.generation.Load() + 1
-	if rb.Catalog != nil {
-		gen, err := rb.Catalog.Save(func(w io.Writer) error {
-			return core.SaveSmallGroup(w, p)
-		})
-		if err != nil {
-			st.PersistError = err.Error()
-		} else {
-			st.Generation = gen
-			st.Persisted = true
+	if ing := s.cfg.Ingest; ing != nil {
+		// Swap through the coordinator's handshake: it re-applies the batches
+		// that landed during pre-processing (the tail) and publishes the
+		// result, so the snapshot persisted below carries the full data
+		// generation and replay after a restart skips exactly the covered
+		// batches.
+		if err := ing.CompleteRebuild(p, pinnedGen); err != nil {
+			s.health.lastErr.Store(ptrOf(err.Error()))
+			obsRebuilds.With("error").Inc()
+			return st, fmt.Errorf("server: rebuild rebase: %w", err)
 		}
+		p, _ = s.sys.Prepared(s.strategy)
+		if rb.Catalog != nil {
+			gen, err := rb.Catalog.Save(func(w io.Writer) error {
+				return core.SaveSmallGroup(w, p)
+			})
+			if err != nil {
+				st.PersistError = err.Error()
+			} else {
+				st.Generation = gen
+				st.Persisted = true
+			}
+		}
+	} else {
+		// Persist first, then swap: if the save fails we still swap (fresh
+		// samples beat stale ones) but report the durability gap.
+		if rb.Catalog != nil {
+			gen, err := rb.Catalog.Save(func(w io.Writer) error {
+				return core.SaveSmallGroup(w, p)
+			})
+			if err != nil {
+				st.PersistError = err.Error()
+			} else {
+				st.Generation = gen
+				st.Persisted = true
+			}
+		}
+		s.sys.SwapPrepared(s.strategy, p)
 	}
-	s.sys.SwapPrepared(s.strategy, p)
 	s.health.generation.Store(st.Generation)
 	src := "rebuild"
 	s.health.source.Store(&src)

@@ -77,6 +77,7 @@ import (
 	"dynsample/internal/core"
 	"dynsample/internal/engine"
 	"dynsample/internal/faults"
+	"dynsample/internal/ingest"
 	"dynsample/internal/obs"
 	"dynsample/internal/sqlparse"
 )
@@ -106,6 +107,12 @@ type Config struct {
 	// Rebuild enables zero-downtime sample rebuilds (/admin/rebuild and
 	// AutoRebuild); the zero value disables them. See RebuildConfig.
 	Rebuild RebuildConfig
+	// Ingest, when non-nil, enables POST /ingest (live row appends backed by
+	// the coordinator's WAL + online sample maintenance) and makes Rebuild go
+	// through the coordinator's pin/tail handshake. When Rebuild is also
+	// configured, the coordinator's drift trigger is pointed at this server's
+	// background rebuild.
+	Ingest *ingest.Coordinator
 }
 
 // Server routes HTTP requests to a core.System. Configuration fields are
@@ -138,6 +145,17 @@ func New(sys *core.System, cfg Config) *Server {
 	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	if cfg.Ingest != nil && cfg.Rebuild.Strategy != nil {
+		// Drift past the bound means some rare value has outgrown its exact
+		// small-group answer; rebuild in the background while ingest and
+		// queries continue (the coordinator fires this at most once per
+		// rebuild cycle, on its own goroutine).
+		cfg.Ingest.SetOnDrift(func(float64) {
+			if _, err := s.Rebuild(); err != nil {
+				log.Printf("server: drift-triggered rebuild failed: %v", err)
+			}
+		})
 	}
 	return s
 }
@@ -173,7 +191,11 @@ type QueryResponse struct {
 	Groups    []GroupJSON `json:"groups"`
 	RowsRead  int64       `json:"rowsRead,omitempty"`
 	ElapsedUS int64       `json:"elapsedMicros"`
-	Rewrite   string      `json:"rewrite,omitempty"`
+	// Generation is the data generation (ingest batches applied) this answer
+	// was computed against, so clients can correlate an answer with their
+	// own writes.
+	Generation uint64 `json:"generation"`
+	Rewrite    string `json:"rewrite,omitempty"`
 	// Degraded is set when deadline pressure made the strategy fall back to
 	// the uniform overall sample instead of its full rewrite.
 	Degraded bool `json:"degraded,omitempty"`
@@ -225,6 +247,7 @@ func (s *Server) Handler() http.Handler {
 	versioned("GET /columns", s.handleColumns)
 	versioned("GET /strategies", s.handleStrategies)
 	versioned("POST /admin/rebuild", s.handleRebuild)
+	versioned("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", obs.Handler(obs.Default()))
@@ -451,6 +474,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r, req)
 	defer cancel()
+	// Read the generation before executing: the answer is then guaranteed to
+	// include at least every batch up to it.
+	gen := s.sys.DataGeneration()
 	ans, err := s.sys.ApproxCtx(obs.WithTrace(ctx, rt.trace), s.strategy, compiled.Query)
 	if err != nil {
 		rt.status = writeExecErr(w, r, err)
@@ -459,10 +485,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	endStage := rt.trace.StartStage("present")
 	resp := QueryResponse{
-		Columns:   outputNames(compiled),
-		RowsRead:  ans.RowsRead,
-		ElapsedUS: ans.Elapsed.Microseconds(),
-		Degraded:  ans.Degraded,
+		Columns:    outputNames(compiled),
+		RowsRead:   ans.RowsRead,
+		ElapsedUS:  ans.Elapsed.Microseconds(),
+		Generation: gen,
+		Degraded:   ans.Degraded,
 	}
 	for _, g := range compiled.Present(ans.Result) {
 		key := engine.EncodeKey(g.Key)
@@ -509,6 +536,7 @@ func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r, req)
 	defer cancel()
+	gen := s.sys.DataGeneration()
 	endStage := rt.trace.StartStage("execute")
 	res, elapsed, err := s.sys.ExactCtx(ctx, compiled.Query)
 	endStage()
@@ -522,9 +550,10 @@ func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 	// directly comparable in speedup tables.
 	endStage = rt.trace.StartStage("present")
 	resp := QueryResponse{
-		Columns:   outputNames(compiled),
-		RowsRead:  res.RowsScanned,
-		ElapsedUS: elapsed.Microseconds(),
+		Columns:    outputNames(compiled),
+		RowsRead:   res.RowsScanned,
+		ElapsedUS:  elapsed.Microseconds(),
+		Generation: gen,
 	}
 	for _, g := range compiled.Present(res) {
 		gj := GroupJSON{Exact: true}
@@ -556,10 +585,20 @@ func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleColumns(w http.ResponseWriter, _ *http.Request) {
+	db := s.sys.DB()
+	// Types let ingest clients (aqpcli ingest) encode CSV cells correctly
+	// without guessing whether "123" is a string or a number.
+	types := map[string]string{}
+	for _, name := range db.Columns() {
+		if t, err := db.ColumnType(name); err == nil {
+			types[name] = t.String()
+		}
+	}
 	writeJSON(w, map[string]any{
-		"database": s.sys.DB().Name,
-		"rows":     s.sys.DB().NumRows(),
-		"columns":  s.sys.DB().Columns(),
+		"database": db.Name,
+		"rows":     db.NumRows(),
+		"columns":  db.Columns(),
+		"types":    types,
 	})
 }
 

@@ -15,7 +15,7 @@ import (
 
 // testSystem builds the shared fixture: a skewed sales table with small
 // group sampling pre-processed. cfg tweaks are applied over the base config.
-func testSystem(t *testing.T, cfg core.SmallGroupConfig) *core.System {
+func testSystem(t testing.TB, cfg core.SmallGroupConfig) *core.System {
 	t.Helper()
 	region := engine.NewColumn("region", engine.String)
 	amount := engine.NewColumn("amount", engine.Float)

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Benchmark harness: runs the ingest-path and query-path benchmarks and emits
+# machine-readable JSON (BENCH_ingest.json, BENCH_query.json) so successive
+# commits can be compared. Needs only bash, awk and the go toolchain.
+#
+#   scripts/bench.sh            # full run (benchtime 2s)
+#   BENCHTIME=200ms scripts/bench.sh   # quick run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUTDIR="${BENCH_OUTDIR:-.}"
+
+# bench_json <output-file> <go-bench-output-file>
+# Converts `go test -bench` lines into a JSON array. Handles the standard
+# ns/op pair plus any custom metrics (rows/sec, B/op, allocs/op).
+bench_json() {
+  awk '
+    BEGIN { print "{\n  \"benchmarks\": [" ; first = 1 }
+    /^Benchmark/ {
+      name = $1; iters = $2
+      sub(/-[0-9]+$/, "", name)
+      if (!first) printf ",\n"
+      first = 0
+      printf "    {\"name\": \"%s\", \"iters\": %s", name, iters
+      for (i = 3; i + 1 <= NF; i += 2) {
+        metric = $(i + 1)
+        gsub(/\//, "_per_", metric)
+        printf ", \"%s\": %s", metric, $i
+      }
+      printf "}"
+    }
+    END { print "\n  ]\n}" }
+  ' "$2" > "$1"
+}
+
+echo "bench: ingest path (WAL append + fsync + online maintenance)..." >&2
+go test ./internal/ingest -run '^$' -bench 'BenchmarkIngest' \
+  -benchtime "$BENCHTIME" -benchmem | tee /tmp/bench_ingest.txt
+bench_json "$OUTDIR/BENCH_ingest.json" /tmp/bench_ingest.txt
+
+echo "bench: query path (concurrent HTTP queries, with and without ingest load)..." >&2
+go test ./internal/server -run '^$' -bench 'BenchmarkConcurrentQuery' \
+  -benchtime "$BENCHTIME" | tee /tmp/bench_query.txt
+bench_json "$OUTDIR/BENCH_query.json" /tmp/bench_query.txt
+
+echo "bench: wrote $OUTDIR/BENCH_ingest.json and $OUTDIR/BENCH_query.json" >&2
