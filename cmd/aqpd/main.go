@@ -197,7 +197,9 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("wal replay: %w", err))
 		}
-		if torn {
+		// OpenWAL truncates a torn tail before Replay sees the segment, so
+		// the crash signature usually surfaces via w.Torn(), not torn.
+		if torn || w.Torn() {
 			fmt.Fprintf(os.Stderr, "aqpd: wal had a torn tail (crash mid-append); it was discarded\n")
 		}
 		if batches > 0 {

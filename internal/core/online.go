@@ -435,8 +435,12 @@ func (o *Online) Apply(seq uint64, rows [][]engine.Value) (BatchStats, error) {
 	o.gen = seq
 	np.dataGen = o.sampleGen
 	o.p = &np
-	o.sys.SwapData(newDB, o.gen)
+	// Prepared state first, data generation second: handleQuery reads the
+	// generation before answering and promises the answer covers at least
+	// every batch up to it, so the state that answers must never lag the
+	// generation a concurrent reader can observe.
 	o.sys.SwapPrepared(o.strategy, &np)
+	o.sys.SwapData(newDB, o.gen)
 
 	st.Rows = len(rows)
 	st.Drift = o.Drift()
@@ -554,14 +558,24 @@ func (o *Online) Rebase(p Prepared, rebuiltAt uint64, tail []TailBatch) error {
 	if !ok {
 		return fmt.Errorf("core: online rebase needs small group sampling state, got %T", p)
 	}
+	// Snapshot every field the rebase mutates so a failure at any point
+	// rolls back to a state consistent with the still-published family.
+	// bindMeta and seedMissing truncate-and-append over the existing slices,
+	// so they must start from nil here — otherwise they would scribble over
+	// the snapshotted backing arrays and make the restore a no-op.
 	prev := o.p
 	prevCap, prevSeen, prevSampleGen := o.cap, o.seen, o.sampleGen
+	prevColPos, prevPairPos, prevPairColCommon := o.colPos, o.pairPos, o.pairColCommon
+	prevFreqs, prevSaturated, prevMaxRareCount := o.freqs, o.saturated, o.maxRareCount
 	prevMissingPos, prevMissingVals, prevMissingNew := o.missingPos, o.missingVals, o.missingNew
 	restore := func() {
 		o.p = prev
 		o.cap, o.seen, o.sampleGen = prevCap, prevSeen, prevSampleGen
+		o.colPos, o.pairPos, o.pairColCommon = prevColPos, prevPairPos, prevPairColCommon
+		o.freqs, o.saturated, o.maxRareCount = prevFreqs, prevSaturated, prevMaxRareCount
 		o.missingPos, o.missingVals, o.missingNew = prevMissingPos, prevMissingVals, prevMissingNew
 	}
+	o.colPos, o.pairPos, o.pairColCommon = nil, nil, nil
 
 	otbl, ok := sgp.overall.src.(*engine.Table)
 	if !ok || otbl.Weights != nil || otbl.NumRows() == 0 || len(sgp.sharedDims) > 0 {

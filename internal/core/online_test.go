@@ -458,6 +458,71 @@ func TestOnlineRebase(t *testing.T) {
 	}
 }
 
+// TestOnlineRebaseFailureRestoresTracking: Rebase binds the new metadata and
+// re-seeds the frequency counts before it can know the tail will replay, so a
+// failure after that point must roll all of it back — otherwise subsequent
+// applies would classify rows for the old (still published) family using the
+// new family's common sets and counts. A run that survives a failed rebase
+// must stay bit-identical to one that never attempted it.
+func TestOnlineRebaseFailureRestoresTracking(t *testing.T) {
+	const n0 = 3000
+	cfg := SmallGroupConfig{BaseRate: 0.04, SmallGroupFraction: 0.08, DistinctLimit: 100, Seed: 9}
+	// Each batch carries 400 rows of a brand-new heavy value on top of the
+	// background distribution: heavy enough that pre-processing the grown
+	// data declares HOT common, so the rebuilt metadata's common sets (and
+	// the frequency counts seeded from them) genuinely differ.
+	mkBatch := func(start int) [][]engine.Value {
+		rows := onlineRows(randx.New(int64(start)), start, 200)
+		for i := 0; i < 400; i++ {
+			rows = append(rows, []engine.Value{
+				engine.StringVal("HOT"),
+				engine.StringVal("B0"),
+				engine.IntVal(1),
+				engine.IntVal(int64(start + 200 + i)),
+			})
+		}
+		return rows
+	}
+
+	_, ref := onlineSystem(t, n0, cfg, 77)
+	if _, err := ref.Apply(1, mkBatch(n0)); err != nil {
+		t.Fatal(err)
+	}
+	refDrift1 := ref.Drift()
+	if _, err := ref.Apply(2, mkBatch(n0+600)); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := preparedBytes(t, ref.Prepared())
+	wantDrift := ref.Drift()
+
+	_, o := onlineSystem(t, n0, cfg, 77)
+	if _, err := o.Apply(1, mkBatch(n0)); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := NewSmallGroup(cfg).Preprocess(o.DB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stale pin with an empty tail cannot reach the data generation, so
+	// the rebase fails — but only after bindMeta and seedFrequencies have
+	// already run against the rebuilt metadata.
+	if err := o.Rebase(rebuilt, 0, nil); err == nil {
+		t.Fatal("rebase with a stale pin and no tail should fail")
+	}
+	if d := o.Drift(); d != refDrift1 {
+		t.Fatalf("drift after failed rebase = %g, want %g (tracking not restored)", d, refDrift1)
+	}
+	if _, err := o.Apply(2, mkBatch(n0+600)); err != nil {
+		t.Fatal(err)
+	}
+	if got := preparedBytes(t, o.Prepared()); !bytes.Equal(got, wantBytes) {
+		t.Error("sample family after failed rebase differs from a run that never attempted it")
+	}
+	if d := o.Drift(); d != wantDrift {
+		t.Fatalf("drift after failed rebase + apply = %g, want %g", d, wantDrift)
+	}
+}
+
 // TestOnlineNewValueInDroppedColumn covers the §4.2.1 corner pre-processing
 // leaves behind: a column whose values are all common is removed from S, so
 // a brand-new value arriving there is a small group with no table to land

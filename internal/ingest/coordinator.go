@@ -21,6 +21,13 @@ var ErrOverloaded = errors.New("ingest: too many pending batches")
 // rows twice.
 var ErrDuplicate = errors.New("ingest: duplicate batch id")
 
+// ErrUnavailable marks server-side ingest failures — a WAL write or fsync
+// error, a batch that was logged durably but failed to apply in memory, or
+// any request refused because an earlier such failure poisoned the
+// coordinator. Unlike validation errors the request itself was fine, so the
+// HTTP layer maps it to 500 rather than 400.
+var ErrUnavailable = errors.New("ingest: ingestion unavailable")
+
 // Config tunes a Coordinator. The zero value is usable given a Strategy
 // registered on the System.
 type Config struct {
@@ -70,6 +77,13 @@ type Coordinator struct {
 	rebuilding bool
 	tail       []core.TailBatch
 	driftFired bool
+
+	// poisoned is set when a batch became durable in the WAL but failed to
+	// apply in memory: the log and the in-memory state now disagree, and any
+	// further append would reuse the durable batch's sequence number and
+	// corrupt the WAL. Every subsequent Ingest refuses with ErrUnavailable;
+	// restarting replays the log and clears the divergence.
+	poisoned error
 }
 
 // New attaches a coordinator to the system's prepared state. Call after the
@@ -165,6 +179,10 @@ func (c *Coordinator) Ingest(id string, rows [][]engine.Value) (core.BatchStats,
 			return st, ErrDuplicate
 		}
 	}
+	if c.poisoned != nil {
+		obsBatches.With("poisoned").Inc()
+		return zero, fmt.Errorf("%w: writes disabled after earlier failure (restart to recover): %v", ErrUnavailable, c.poisoned)
+	}
 	// Validate before the WAL append: a record acknowledged to disk must be
 	// guaranteed to apply on replay.
 	if err := c.online.Validate(rows); err != nil {
@@ -178,16 +196,22 @@ func (c *Coordinator) Ingest(id string, rows [][]engine.Value) (core.BatchStats,
 		return zero, err
 	}
 	if err := c.wal.Append(payload); err != nil {
+		// The WAL either rolled the failed frame back (retrying this
+		// sequence is safe) or marked itself broken and will refuse every
+		// further append itself — either way the log cannot accumulate a
+		// torn frame or a duplicate sequence behind this failure.
 		obsBatches.With("error").Inc()
-		return zero, err
+		return zero, fmt.Errorf("%w: %w", ErrUnavailable, err)
 	}
 	st, err := c.online.Apply(seq, rows)
 	if err != nil {
 		// The record is durable but the in-memory apply failed — state the
-		// WAL considers acknowledged is missing from memory. Restarting
-		// replays it; until then refuse further appends on this sequence.
+		// WAL considers acknowledged is missing from memory, and a retry
+		// would log a second record with this sequence. Poison ingest until
+		// a restart replays the log.
+		c.poisoned = fmt.Errorf("batch %d logged but not applied: %v", seq, err)
 		obsBatches.With("error").Inc()
-		return zero, fmt.Errorf("ingest: batch %d logged but not applied (restart to replay): %w", seq, err)
+		return zero, fmt.Errorf("%w: batch %d logged but not applied (restart to replay): %w", ErrUnavailable, seq, err)
 	}
 	if id != "" {
 		c.remember(id, st)

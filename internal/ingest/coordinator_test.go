@@ -381,6 +381,98 @@ func TestCoordinatorWALFailureNotApplied(t *testing.T) {
 	}
 }
 
+// TestCoordinatorSyncFailureSurvivesRestart: a transient fsync failure midway
+// through the stream must leave no trace in the log — not a torn frame that
+// would silently swallow later acknowledged batches on replay, and not a
+// duplicate sequence number that would make the next startup refuse with
+// ErrCorrupt. The retried batch and a restart must both land bit-identically
+// with a run that never saw the fault.
+func TestCoordinatorSyncFailureSurvivesRestart(t *testing.T) {
+	const n = 2000
+	cfg := Config{Online: core.OnlineConfig{Seed: 41}}
+	mkBatches := func() [][][]engine.Value {
+		rng := randx.New(999)
+		out := make([][][]engine.Value, 2)
+		for i := range out {
+			out[i] = ingestRows(rng, 100)
+		}
+		return out
+	}
+
+	// Reference: both batches ingested with no faults.
+	sysRef, cRef, _ := newIngestSystem(t, n, t.TempDir(), cfg)
+	for i, rows := range mkBatches() {
+		if _, err := cRef.Ingest(fmt.Sprintf("b-%d", i), rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := answersOf(t, sysRef)
+
+	dir := t.TempDir()
+	sys1, c1, w1 := newIngestSystem(t, n, dir, cfg)
+	batches := mkBatches()
+	if _, err := c1.Ingest("b-0", batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("transient enospc")
+	faults.SetErr(faults.PointWALSync, func(int) error { return boom })
+	t.Cleanup(faults.Reset)
+	for i := 0; i < 2; i++ {
+		_, err := c1.Ingest("b-1", batches[1])
+		if !errors.Is(err, boom) || !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("attempt %d: err = %v, want the injected failure wrapped in ErrUnavailable", i, err)
+		}
+	}
+	faults.Reset()
+	if _, err := c1.Ingest("b-1", batches[1]); err != nil {
+		t.Fatalf("retry after the fault cleared: %v", err)
+	}
+	if got := answersOf(t, sys1); got != want {
+		t.Error("answers after recovered sync failures differ from the fault-free run")
+	}
+	w1.Close()
+
+	// Restart: the log must replay cleanly with exactly the two acknowledged
+	// batches — the failed attempts left neither torn frames nor duplicates.
+	sys2, c2, _ := newIngestSystem(t, n, dir, cfg)
+	replayed, torn, err := c2.ReplayWAL()
+	if err != nil {
+		t.Fatalf("replay after failed appends: %v", err)
+	}
+	if torn || replayed != 2 {
+		t.Fatalf("replayed %d batches (torn=%v), want 2 clean", replayed, torn)
+	}
+	if got := answersOf(t, sys2); got != want {
+		t.Error("answers after restart differ from the fault-free run")
+	}
+}
+
+// TestCoordinatorPoisonedRefusesIngest: once a batch is durable in the WAL
+// but missing from memory, accepting another batch would reuse its sequence
+// number and corrupt the log — every subsequent ingest must refuse with
+// ErrUnavailable until a restart replays the divergence away. Duplicate
+// detection for batches applied before the failure keeps answering.
+func TestCoordinatorPoisonedRefusesIngest(t *testing.T) {
+	_, c, _ := newIngestSystem(t, 2000, t.TempDir(), Config{Online: core.OnlineConfig{Seed: 43}})
+	rows := ingestRows(randx.New(6), 10)
+	st, err := c.Ingest("applied", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.poisoned = errors.New("batch 2 logged but not applied")
+	c.mu.Unlock()
+	if _, err := c.Ingest("next", ingestRows(randx.New(7), 10)); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("ingest on poisoned coordinator: err = %v, want ErrUnavailable", err)
+	}
+	if st2, err := c.Ingest("applied", rows); !errors.Is(err, ErrDuplicate) || st2 != st {
+		t.Fatalf("pre-failure duplicate = %+v, %v; want original stats with ErrDuplicate", st2, err)
+	}
+	if g := c.Generation(); g != 1 {
+		t.Fatalf("generation = %d, want 1 (nothing accepted while poisoned)", g)
+	}
+}
+
 // TestCoordinatorDriftTriggersOneRebuild streams a brand-new heavy value
 // until drift crosses the bound and requires exactly one OnDrift firing,
 // then completes the rebuild handshake (with a tail batch landing

@@ -75,6 +75,13 @@ type WAL struct {
 	segBytes int64
 	maxBytes int64
 	recIndex int // running record count, for fault-hook indexing
+	torn     bool
+	// broken is set when a failed append could not be rolled back (the
+	// truncate or its fsync failed, or segment rotation died). From then on
+	// every Append refuses: writing anything behind a frame in an unknown
+	// state could tear acknowledged batches or duplicate a sequence number,
+	// and only a restart (which replays the durable prefix) is safe.
+	broken error
 }
 
 // OpenWAL opens (or creates) the log in dir and prepares it for appending.
@@ -112,6 +119,18 @@ func OpenWAL(dir string) (*WAL, error) {
 		return nil, err
 	}
 	if st.Size() > valid {
+		// An invalid frame ends the valid prefix. A crash mid-append explains
+		// it only if nothing parseable follows; a CRC-passing record behind
+		// the bad frame proves mid-segment corruption (bit rot), and cutting
+		// there would silently delete the acknowledged batches behind it.
+		if later, lerr := validRecordAfter(filepath.Join(dir, segName(last)), valid); lerr != nil {
+			f.Close()
+			return nil, lerr
+		} else if later {
+			f.Close()
+			return nil, walCorruptf("%s: intact records follow an invalid frame at offset %d (mid-segment corruption, not a torn tail)",
+				segName(last), valid)
+		}
 		// Torn tail from a crashed append: cut it before new records land
 		// behind it, and make the cut durable.
 		if err := f.Truncate(valid); err != nil {
@@ -122,6 +141,7 @@ func OpenWAL(dir string) (*WAL, error) {
 			f.Close()
 			return nil, fmt.Errorf("ingest: fsync after tail truncation: %w", err)
 		}
+		w.torn = true
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
@@ -139,12 +159,22 @@ func OpenWAL(dir string) (*WAL, error) {
 // Dir returns the directory the log lives in.
 func (w *WAL) Dir() string { return w.dir }
 
+// Torn reports whether OpenWAL truncated a torn tail — the signature of a
+// crash mid-append. aqpd surfaces it as a startup warning.
+func (w *WAL) Torn() bool { return w.torn }
+
 // Append frames payload as one record, writes it to the active segment and
 // fsyncs before returning. A nil error means the record is durable: a crash
-// after Append returns cannot lose the batch. Fault points: PointWALRecord
-// (DataHook) may corrupt the frame, PointWALAppend / PointWALSync (ErrHooks)
-// inject write and fsync failures.
+// after Append returns cannot lose the batch. On a write or fsync failure the
+// frame is rolled back (the segment is truncated to its pre-append length) so
+// a retry cannot land behind a torn frame or duplicate a sequence number; if
+// that rollback itself fails the WAL refuses all further appends until
+// restart. Fault points: PointWALRecord (DataHook) may corrupt the frame,
+// PointWALAppend / PointWALSync (ErrHooks) inject write and fsync failures.
 func (w *WAL) Append(payload []byte) error {
+	if w.broken != nil {
+		return fmt.Errorf("ingest: wal unusable after unrepaired write failure (restart to recover): %w", w.broken)
+	}
 	if w.f == nil {
 		return errors.New("ingest: wal is closed")
 	}
@@ -159,25 +189,56 @@ func (w *WAL) Append(payload []byte) error {
 	binary.LittleEndian.PutUint32(frame[4:8], crc)
 	faults.FireData(faults.PointWALRecord, w.recIndex, frame)
 	if err := faults.FireErr(faults.PointWALAppend, w.recIndex); err != nil {
+		w.repairTail()
 		return fmt.Errorf("ingest: wal append: %w", err)
 	}
 	if _, err := w.f.Write(frame); err != nil {
+		w.repairTail()
 		return fmt.Errorf("ingest: wal append: %w", err)
 	}
 	if err := faults.FireErr(faults.PointWALSync, w.recIndex); err != nil {
+		w.repairTail()
 		return fmt.Errorf("ingest: wal fsync: %w", err)
 	}
 	start := time.Now()
 	if err := w.f.Sync(); err != nil {
+		w.repairTail()
 		return fmt.Errorf("ingest: wal fsync: %w", err)
 	}
 	obsWALFsync.Observe(time.Since(start).Seconds())
 	w.recIndex++
 	w.segBytes += int64(len(frame))
 	if w.segBytes >= w.maxBytes {
-		return w.rotate()
+		if err := w.rotate(); err != nil {
+			// The record itself is durable; sealing the segment or creating
+			// the next one failed. Refuse further appends — without a usable
+			// active segment a retry would duplicate the record's sequence.
+			w.broken = err
+			return err
+		}
 	}
 	return nil
+}
+
+// repairTail rolls the active segment back to its last known-good length
+// after a failed append, discarding whatever portion of the frame reached the
+// file. A failed fsync may have left a fully written record behind: without
+// the rollback, retrying the batch would append a second record with the same
+// sequence number (ErrCorrupt at the next startup), and a partial write would
+// leave a torn frame that silently truncates every later acknowledged batch
+// on replay. If the rollback cannot be completed the WAL marks itself broken.
+func (w *WAL) repairTail() {
+	if err := w.f.Truncate(w.segBytes); err != nil {
+		w.broken = fmt.Errorf("ingest: truncating failed wal append: %w", err)
+		return
+	}
+	if _, err := w.f.Seek(w.segBytes, io.SeekStart); err != nil {
+		w.broken = fmt.Errorf("ingest: seeking after failed wal append: %w", err)
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = fmt.Errorf("ingest: fsync after failed wal append rollback: %w", err)
+	}
 }
 
 // Close flushes and closes the active segment.
@@ -319,7 +380,7 @@ func Replay(dir string, fn func(payload []byte) error) (records int, torn bool, 
 	}
 	for i, idx := range segs {
 		path := filepath.Join(dir, segName(idx))
-		_, clean, err := scanSegment(path, func(p []byte) error {
+		valid, clean, err := scanSegment(path, func(p []byte) error {
 			records++
 			return fn(p)
 		})
@@ -330,8 +391,48 @@ func Replay(dir string, fn func(payload []byte) error) (records int, torn bool, 
 			if i != len(segs)-1 {
 				return records, false, walCorruptf("%s: corrupt record in non-final segment", segName(idx))
 			}
+			// A torn tail is only believable if nothing valid follows the bad
+			// frame; an intact record behind it means the frame is mid-segment
+			// corruption and acknowledged batches would be lost.
+			later, lerr := validRecordAfter(path, valid)
+			if lerr != nil {
+				return records, false, lerr
+			}
+			if later {
+				return records, false, walCorruptf("%s: intact records follow an invalid frame at offset %d (mid-segment corruption, not a torn tail)",
+					segName(idx), valid)
+			}
 			return records, true, nil
 		}
 	}
 	return records, false, nil
+}
+
+// validRecordAfter reports whether any byte offset at or after off in the
+// segment parses as a complete checksummed record. The frame at off itself
+// failed validation, so a hit can only come from a record behind it — proof
+// that the invalid frame is mid-segment damage rather than the torn tail of
+// a crashed append (a crash cannot manufacture valid records past the point
+// the log stopped). The scan tries every byte offset because frame lengths
+// are untrusted once a frame is bad; a CRC32C match on arbitrary garbage is a
+// ~2^-32 accident per offset, and a false hit only fails safe (refuse to
+// start rather than silently drop batches).
+func validRecordAfter(path string, off int64) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("ingest: reading wal segment: %w", err)
+	}
+	for i := off; i+8 <= int64(len(data)); i++ {
+		length := int64(binary.LittleEndian.Uint32(data[i : i+4]))
+		if length == 0 || length > maxRecordSize || i+8+length > int64(len(data)) {
+			continue
+		}
+		crc := binary.LittleEndian.Uint32(data[i+4 : i+8])
+		want := crc32.Update(0, walCRC, data[i:i+4])
+		want = crc32.Update(want, walCRC, data[i+8:i+8+length])
+		if crc == want {
+			return true, nil
+		}
+	}
+	return false, nil
 }

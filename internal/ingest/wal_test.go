@@ -104,11 +104,15 @@ func TestWALTornTailRecovery(t *testing.T) {
 		t.Fatalf("replayed %d records, want the 3 durable ones", len(got))
 	}
 
-	// Reopen: the torn tail must be cut and further appends replayable.
+	// Reopen: the torn tail must be cut, reported, and further appends
+	// replayable.
 	before, _ := os.Stat(seg)
 	w2, err := OpenWAL(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !w2.Torn() {
+		t.Error("OpenWAL did not report the truncated torn tail")
 	}
 	after, _ := os.Stat(seg)
 	if after.Size() >= before.Size() {
@@ -121,6 +125,86 @@ func TestWALTornTailRecovery(t *testing.T) {
 	got, torn = mustReplay(t, dir)
 	if torn || len(got) != 4 || string(got[3]) != "batch-3" {
 		t.Fatalf("after recovery: %d records (torn=%v), want 4 clean", len(got), torn)
+	}
+	w3, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.Torn() {
+		t.Error("clean reopen reported a torn tail")
+	}
+	w3.Close()
+}
+
+// TestWALMidSegmentCorruptionWithLaterRecordsIsFatal: an invalid frame with
+// intact records behind it — even in the final segment — is bit rot, not a
+// torn tail: a crash cannot manufacture valid records past the point the log
+// stopped. Truncating there would silently delete acknowledged batches, so
+// both Replay and OpenWAL must refuse with ErrCorrupt.
+func TestWALMidSegmentCorruptionWithLaterRecordsIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("batch-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := filepath.Join(dir, segName(w.segIndex))
+	w.Close()
+
+	// Flip one payload bit of the FIRST record, leaving two valid ones after.
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(segMagic)+8+2] ^= 0x04
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Replay(dir, func([]byte) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay error = %v, want ErrCorrupt for mid-segment corruption", err)
+	}
+	if _, err := OpenWAL(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open error = %v, want ErrCorrupt instead of truncating acknowledged records", err)
+	}
+}
+
+// TestWALFailedAppendRollsBackFrame: an fsync failure happens after the frame
+// bytes reached the file. Without a rollback a retried batch would append a
+// second record with the same sequence number (ErrCorrupt at the next
+// startup); the WAL must truncate the failed frame so the retry lands clean.
+func TestWALFailedAppendRollsBackFrame(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	faults.SetErr(faults.PointWALSync, faults.FailNth(0, boom))
+	t.Cleanup(faults.Reset)
+	for i := 0; i < 2; i++ {
+		if err := w.Append([]byte("doomed")); !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: err = %v, want injected fsync failure", i, err)
+		}
+	}
+	faults.Reset()
+	if err := w.Append([]byte("retried")); err != nil {
+		t.Fatalf("append after repaired failure: %v", err)
+	}
+	w.Close()
+	got, torn := mustReplay(t, dir)
+	if torn {
+		t.Error("failed appends left a torn frame behind")
+	}
+	if len(got) != 2 || string(got[0]) != "durable" || string(got[1]) != "retried" {
+		t.Fatalf("replayed %d records %q, want the durable and retried ones only", len(got), got)
 	}
 }
 

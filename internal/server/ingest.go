@@ -60,7 +60,8 @@ type IngestResponse struct {
 // the view schema, hand them to the coordinator (WAL append + online sample
 // maintenance), and report the batch's effect. Overload maps to 503 +
 // Retry-After like query shedding; duplicates are a 200 with the original
-// stats so retries are safe.
+// stats so retries are safe; WAL and apply failures are 500s so clients
+// don't mistake a server fault for a bad batch.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ing := s.cfg.Ingest
 	if ing == nil {
@@ -120,6 +121,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeErrorRetry(w, http.StatusServiceUnavailable, CodeOverloaded, int64(secs)*1000, err)
+	case errors.Is(err, ingest.ErrUnavailable):
+		// A server-side failure (WAL write/fsync, or a durably logged batch
+		// that did not apply) — not the client's fault, so never 400: a
+		// well-behaved client should keep the batch and retry later.
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 	default:

@@ -3,12 +3,14 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"dynsample/internal/core"
+	"dynsample/internal/faults"
 	"dynsample/internal/ingest"
 )
 
@@ -178,6 +180,31 @@ func TestIngestBadRequests(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, body)
 		}
+	}
+}
+
+// TestIngestWALFailureIs500: a WAL fsync failure is the server's fault, not
+// the request's — it must surface as 500/internal (so clients keep the batch
+// and retry) rather than 400, and the rolled-back frame must let the retry
+// succeed once the fault clears.
+func TestIngestWALFailureIs500(t *testing.T) {
+	srv, _, _ := ingestServer(t, ingest.Config{Online: core.OnlineConfig{Seed: 6}})
+	faults.SetErr(faults.PointWALSync, faults.FailNth(0, errors.New("disk full")))
+	t.Cleanup(faults.Reset)
+	req := IngestRequest{
+		Rows: [][]json.RawMessage{{json.RawMessage(`"zz"`), json.RawMessage(`1.5`)}},
+	}
+	resp, body := post(t, srv, "/v1/ingest", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d (%s), want 500 for a WAL failure", resp.StatusCode, body)
+	}
+	if er := decodeErr(t, body); er.Error.Code != CodeInternal {
+		t.Fatalf("code %q, want %q", er.Error.Code, CodeInternal)
+	}
+	faults.Reset()
+	resp, body = post(t, srv, "/v1/ingest", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after the fault cleared: %d (%s)", resp.StatusCode, body)
 	}
 }
 
