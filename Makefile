@@ -6,11 +6,13 @@ GO ?= go
 
 all: build vet test
 
-# The CI gate: build + vet + full test suite under the race detector.
+# The CI gate: build + vet + full test suite under the race detector,
+# plus the dead-link check over the markdown docs.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	bash scripts/doclinks.sh
 
 build:
 	$(GO) build ./...

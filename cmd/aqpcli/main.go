@@ -7,6 +7,7 @@
 // Usage:
 //
 //	aqpcli -db tpch -z 2.0 -rows 200000 -rate 0.01
+//	aqpcli -db sales -error-bound 0.05 -query "SELECT s_region, COUNT(*) FROM T GROUP BY s_region"
 //	> SELECT s_region, COUNT(*) FROM T GROUP BY s_region;
 //	> \explain SELECT o_clerk, COUNT(*) FROM T GROUP BY o_clerk;
 //	> \exact   SELECT p_brand, SUM(l_extendedprice) FROM T GROUP BY p_brand;
@@ -57,6 +58,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed")
 		query    = flag.String("query", "", "run one query and exit")
 		timeout  = flag.Duration("timeout", 0, "per-query deadline; 0 disables. Queries that would overrun degrade to the overall sample, then abort with an error")
+		errBound = flag.Float64("error-bound", 0, "ask the planner for answers within this mean relative error, in (0, 1); 0 disables")
+		tBound   = flag.Duration("time-bound", 0, "ask the planner for the most accurate plan predicted to finish within this duration; 0 disables")
 		save     = flag.String("save", "", "write the pre-processed sample set to this file after building it")
 		restore  = flag.String("restore", "", "load a pre-processed sample set instead of re-running pre-processing")
 	)
@@ -74,6 +77,13 @@ func main() {
 	if *timeout < 0 {
 		fatal(fmt.Errorf("invalid -timeout %v: must be >= 0 (0 disables the deadline)", *timeout))
 	}
+	if *errBound < 0 || *errBound >= 1 {
+		fatal(fmt.Errorf("invalid -error-bound %g: must be in [0, 1) (0 disables)", *errBound))
+	}
+	if *tBound < 0 {
+		fatal(fmt.Errorf("invalid -time-bound %v: must be >= 0 (0 disables)", *tBound))
+	}
+	bounds := core.Bounds{ErrorBound: *errBound, TimeBound: *tBound}
 	if *load == "" {
 		switch *dbKind {
 		case "tpch", "sales":
@@ -152,7 +162,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "columns: %s\n", strings.Join(firstN(db.Columns(), 12), ", ")+", ...")
 
 	if *query != "" {
-		if err := runQuery(sys, db, *query, *timeout, false, false); err != nil {
+		if err := runQuery(sys, db, *query, *timeout, bounds, false, false); err != nil {
 			fatal(err)
 		}
 		return
@@ -170,15 +180,15 @@ func main() {
 		case line == `\columns`:
 			fmt.Println(strings.Join(db.Columns(), ", "))
 		case strings.HasPrefix(line, `\explain `):
-			if err := runQuery(sys, db, strings.TrimPrefix(line, `\explain `), *timeout, true, false); err != nil {
+			if err := runQuery(sys, db, strings.TrimPrefix(line, `\explain `), *timeout, bounds, true, false); err != nil {
 				fmt.Println("error:", err)
 			}
 		case strings.HasPrefix(line, `\exact `):
-			if err := runQuery(sys, db, strings.TrimPrefix(line, `\exact `), *timeout, false, true); err != nil {
+			if err := runQuery(sys, db, strings.TrimPrefix(line, `\exact `), *timeout, bounds, false, true); err != nil {
 				fmt.Println("error:", err)
 			}
 		default:
-			if err := runQuery(sys, db, line, *timeout, false, false); err != nil {
+			if err := runQuery(sys, db, line, *timeout, bounds, false, false); err != nil {
 				fmt.Println("error:", err)
 			}
 		}
@@ -186,7 +196,7 @@ func main() {
 	}
 }
 
-func runQuery(sys *core.System, db *engine.Database, sql string, timeout time.Duration, explain, compareExact bool) error {
+func runQuery(sys *core.System, db *engine.Database, sql string, timeout time.Duration, bounds core.Bounds, explain, compareExact bool) error {
 	stmt, err := sqlparse.Parse(strings.TrimSuffix(sql, ";"))
 	if err != nil {
 		return err
@@ -201,7 +211,7 @@ func runQuery(sys *core.System, db *engine.Database, sql string, timeout time.Du
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	ans, err := sys.ApproxCtx(ctx, "smallgroup", compiled.Query)
+	ans, err := sys.ApproxBoundsCtx(ctx, "smallgroup", compiled.Query, bounds)
 	if err != nil {
 		return err
 	}
@@ -209,6 +219,19 @@ func runQuery(sys *core.System, db *engine.Database, sql string, timeout time.Du
 		fmt.Println("-- rewritten query:")
 		fmt.Println(ans.Rewrite.SQL())
 		fmt.Println()
+	}
+	if d := ans.Plan; d != nil {
+		fmt.Printf("-- plan %s: predicted error %.4f, achieved %.4f (%d candidates)\n",
+			d.Chosen.Name, d.Chosen.PredictedError, d.AchievedError, len(d.Candidates))
+		if explain {
+			for _, c := range d.Candidates {
+				fmt.Printf("--   %-32s %8d rows  err %.4f  %8s  feasible=%v\n", c.Name, c.Rows,
+					c.PredictedError, time.Duration(c.PredictedLatencyMicros)*time.Microsecond, c.Feasible)
+			}
+		}
+		for _, cv := range d.Caveats {
+			fmt.Println("-- caveat:", cv)
+		}
 	}
 	printAnswer(compiled, ans)
 	degraded := ""

@@ -9,6 +9,7 @@
 //	aqpd -db tpch -z 2.0 -rows 200000 -rate 0.01 -workers 8 -addr :8080
 //	curl -s localhost:8080/query -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region"}'
 //	curl -s localhost:8080/query -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region","timeout_ms":50}'
+//	curl -s localhost:8080/query -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region","error_bound":0.05}'
 //	curl -s localhost:8080/exact -d '{"sql":"SELECT s_region, COUNT(*) FROM T GROUP BY s_region"}'
 //	curl -s localhost:8080/columns
 //
@@ -79,10 +80,11 @@ func main() {
 		walDir       = flag.String("wal-dir", "", "directory for the ingestion write-ahead log; enables POST /v1/ingest, and durable batches found there are replayed at startup")
 		driftBound   = flag.Float64("drift-bound", 1.0, "common-set drift level that triggers a background sample rebuild (negative disables the trigger)")
 		maxPending   = flag.Int("max-pending", 0, "max concurrently admitted ingest batches; excess is rejected with 503 + Retry-After (0 = default 64)")
+		scanRate     = flag.Float64("scan-rate", 0, "pin the bounded-query planner's latency model to this scan rate in rows/second; 0 learns the rate online from observed executions")
 	)
 	flag.Parse()
 	// Fail fast on invalid parameters — before paying for data generation.
-	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers, *queryTimeout, *maxInflight, *drainTimeout, *rebuildEvery, *slowlogSize, *maxPending); err != nil {
+	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers, *queryTimeout, *maxInflight, *drainTimeout, *rebuildEvery, *slowlogSize, *maxPending, *scanRate); err != nil {
 		fatal(err)
 	}
 
@@ -102,7 +104,7 @@ func main() {
 	}
 
 	sys := core.NewSystem(db)
-	strategy := core.NewSmallGroup(core.SmallGroupConfig{BaseRate: *rate, Seed: *seed, Workers: *workers})
+	strategy := core.NewSmallGroup(core.SmallGroupConfig{BaseRate: *rate, Seed: *seed, Workers: *workers, ScanRowsPerSecond: *scanRate})
 	var cat *catalog.Catalog
 	if *catalogDir != "" {
 		if cat, err = catalog.Open(*catalogDir, catalog.Options{}); err != nil {
@@ -291,7 +293,7 @@ func inflightLabel(n int) string {
 }
 
 // validateFlags rejects out-of-range parameters with actionable messages.
-func validateFlags(dbKind string, rate float64, rows int, z float64, workers int, queryTimeout time.Duration, maxInflight int, drainTimeout time.Duration, rebuildEvery time.Duration, slowlogSize int, maxPending int) error {
+func validateFlags(dbKind string, rate float64, rows int, z float64, workers int, queryTimeout time.Duration, maxInflight int, drainTimeout time.Duration, rebuildEvery time.Duration, slowlogSize int, maxPending int, scanRate float64) error {
 	switch dbKind {
 	case "tpch", "sales":
 	default:
@@ -326,6 +328,9 @@ func validateFlags(dbKind string, rate float64, rows int, z float64, workers int
 	}
 	if maxPending < 0 {
 		return fmt.Errorf("invalid -max-pending %d: must be >= 0 (0 means the default)", maxPending)
+	}
+	if scanRate < 0 {
+		return fmt.Errorf("invalid -scan-rate %g: must be >= 0 (0 learns the rate online)", scanRate)
 	}
 	return nil
 }

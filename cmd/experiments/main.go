@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments -fig 4            # one experiment (3a 3b 4 5 6 7 8 9 sum prep gamma tau)
+//	experiments -fig 4            # one experiment (3a 3b 4 5 6 7 8 9 sum prep gamma tau baselines levels bounds)
 //	experiments -all              # everything, in paper order
 //	experiments -all -quick       # reduced scale for a fast smoke run
 //

@@ -61,6 +61,16 @@ type ContextAnswerer interface {
 	AnswerCtx(ctx context.Context, q *engine.Query) (*Answer, error)
 }
 
+// BoundedAnswerer is implemented by Prepared states that can plan toward
+// per-request accuracy/latency bounds (see Bounds): given an error bound
+// and/or a time bound, the implementation chooses the cheapest sample plan
+// predicted to satisfy them and reports the prediction and the realized
+// error in Answer.Plan. When no plan can satisfy the bounds the error is an
+// *UnsatisfiableBoundsError carrying the best achievable figures.
+type BoundedAnswerer interface {
+	AnswerBounds(ctx context.Context, q *engine.Query, b Bounds) (*Answer, error)
+}
+
 // WorkerConfigurable is implemented by Prepared states whose runtime worker
 // budget can be adjusted after construction — in particular sample sets
 // loaded from disk, whose serialised form does not store the (machine-local)
@@ -91,6 +101,10 @@ type Answer struct {
 	// estimates are still unbiased but lose the small-group exactness and
 	// tightness guarantees.
 	Degraded bool
+	// Plan, set on bounded queries (AnswerBounds with non-zero Bounds),
+	// records the planner's decision: candidates considered, the chosen
+	// plan's predicted error and latency, and the achieved error estimate.
+	Plan *PlanDecision
 }
 
 // Interval returns the confidence interval for a group's aggregate, or a
@@ -277,6 +291,34 @@ func (s *System) ApproxCtx(ctx context.Context, strategy string, q *engine.Query
 	} else {
 		ans, err = p.Answer(q)
 	}
+	if err == nil {
+		obsAnswers.With(strategy).Inc()
+		obsSampleRows.Add(uint64(max(ans.RowsRead, 0)))
+	}
+	return ans, err
+}
+
+// ApproxBoundsCtx answers the query with the named strategy under
+// per-request accuracy/latency bounds. The strategy's runtime state must
+// implement BoundedAnswerer; strategies that cannot plan toward bounds
+// return an error rather than silently ignoring them. With zero Bounds it
+// behaves exactly like ApproxCtx.
+func (s *System) ApproxBoundsCtx(ctx context.Context, strategy string, q *engine.Query, b Bounds) (*Answer, error) {
+	if b.IsZero() {
+		return s.ApproxCtx(ctx, strategy, q)
+	}
+	p, ok := s.set.Load().prepared[strategy]
+	if !ok {
+		return nil, fmt.Errorf("core: strategy %q not registered", strategy)
+	}
+	ba, ok := p.(BoundedAnswerer)
+	if !ok {
+		return nil, fmt.Errorf("core: strategy %q does not support error/time bounds", strategy)
+	}
+	if err := q.Validate(s.DB()); err != nil {
+		return nil, err
+	}
+	ans, err := ba.AnswerBounds(ctx, q, b)
 	if err == nil {
 		obsAnswers.With(strategy).Inc()
 		obsSampleRows.Add(uint64(max(ans.RowsRead, 0)))

@@ -16,3 +16,19 @@ var (
 	obsSampleRows = obs.Default().Counter("aqp_core_sample_rows_scanned_total",
 		"Sample-table rows scanned by approximate answers.")
 )
+
+// Planner instrumentation: how the bounded-query optimizer behaves in
+// aggregate — candidates enumerated, how far predictions land from realized
+// error, and how often bounds are missed or rejected outright.
+var (
+	obsPlannerCandidates = obs.Default().Histogram("aqp_core_planner_candidates",
+		"Candidate plans considered per bounded query.",
+		[]float64{1, 2, 4, 6, 8, 12, 16, 24, 32, 48})
+	obsPlannerGap = obs.Default().Histogram("aqp_core_planner_prediction_gap",
+		"Absolute gap between predicted and achieved relative error per bounded query.",
+		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1})
+	obsPlannerBoundMiss = obs.Default().Counter("aqp_core_planner_bound_miss_total",
+		"Bounded queries whose achieved error estimate exceeded the requested error bound.")
+	obsPlannerUnsat = obs.Default().Counter("aqp_core_planner_unsatisfiable_total",
+		"Bounded queries rejected because no candidate plan satisfied the bounds.")
+)

@@ -1,0 +1,700 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynsample/internal/bitmask"
+	"dynsample/internal/engine"
+	"dynsample/internal/stats"
+)
+
+// This file implements the cost-based sample planner: the runtime half of the
+// paper's analytical error model (§4.4) turned into a per-query optimizer.
+// A caller states an error bound (relative error at a confidence level)
+// and/or a time bound; the planner enumerates candidate plans — subsets of
+// the relevant small group tables × a sampling fraction of the overall
+// sample × the exact fallback — predicts each candidate's error from the
+// §4.4 model and its latency from calibrated scan-cost statistics, and picks
+// the cheapest plan predicted to satisfy the bounds. docs/ACCURACY.md is the
+// written contract for what these predictions do and do not guarantee.
+
+// Bounds are the per-request quality/latency requirements of a bounded
+// query. The zero value means "no bounds": the strategy's default plan.
+type Bounds struct {
+	// ErrorBound is the requested maximum relative error per group at the
+	// Confidence level, e.g. 0.05 for ±5%. Zero means unbounded error.
+	ErrorBound float64
+	// TimeBound is the requested maximum predicted execution latency. Zero
+	// means unbounded time.
+	TimeBound time.Duration
+	// Confidence is the confidence level the error bound (and the answer's
+	// intervals) are stated at. Zero means the prepared state's configured
+	// level (default 0.95).
+	Confidence float64
+}
+
+// IsZero reports whether no bound was requested.
+func (b Bounds) IsZero() bool { return b.ErrorBound == 0 && b.TimeBound == 0 }
+
+// PlanCandidate is one plan the planner considered, with its predictions.
+type PlanCandidate struct {
+	// Name identifies the plan, e.g. "sg_store_region+sg_overall/0.25" or
+	// "exact".
+	Name string `json:"plan"`
+	// Tables are the small group tables the plan reads (empty for the
+	// overall-only and exact plans).
+	Tables []string `json:"tables,omitempty"`
+	// OverallFraction is the fraction of the overall sample scanned (the
+	// sampling-fraction knob); 0 for the exact plan.
+	OverallFraction float64 `json:"overall_fraction,omitempty"`
+	// Rows is the total rows the plan scans, known from the metadata without
+	// executing anything.
+	Rows int64 `json:"rows"`
+	// PredictedError is the §4.4-model prediction of the answer's mean
+	// per-group relative error at the confidence level.
+	PredictedError float64 `json:"predicted_error"`
+	// PredictedLatency is Rows divided by the calibrated scan throughput.
+	PredictedLatency time.Duration `json:"-"`
+	// PredictedLatencyMicros mirrors PredictedLatency for JSON clients.
+	PredictedLatencyMicros int64 `json:"predicted_latency_micros"`
+	// Exact marks the exact-fallback plan (full base-table scan, zero error).
+	Exact bool `json:"exact,omitempty"`
+	// Feasible reports whether the plan was predicted to satisfy the
+	// requested bounds.
+	Feasible bool `json:"feasible"`
+}
+
+// PlanDecision records what the planner did for one bounded query: every
+// candidate considered, the chosen plan, and the realized (achieved) error.
+type PlanDecision struct {
+	// Bounds are the requested bounds, with Confidence resolved.
+	Bounds Bounds `json:"-"`
+	// Chosen is the selected candidate.
+	Chosen PlanCandidate `json:"chosen"`
+	// Candidates lists every plan considered, cheapest first.
+	Candidates []PlanCandidate `json:"candidates,omitempty"`
+	// AchievedError is the realized mean per-group relative error, estimated
+	// from the answer's confidence intervals (half-width / estimate, capped
+	// at 1; exact groups contribute 0). It is an online estimate, not a
+	// comparison against ground truth — see docs/ACCURACY.md.
+	AchievedError float64 `json:"achieved_error"`
+	// Caveats list why the prediction may be unreliable for this query
+	// (selection predicates, columns without metadata, multi-level bands).
+	Caveats []string `json:"caveats,omitempty"`
+}
+
+// UnsatisfiableBoundsError reports that no candidate plan — including the
+// exact fallback, when available — was predicted to satisfy the requested
+// bounds. It carries the best achievable figures so clients can retry with
+// realistic bounds.
+type UnsatisfiableBoundsError struct {
+	// Bounds are the bounds that could not be met.
+	Bounds Bounds
+	// BestError is the smallest predicted error among candidates that fit
+	// the time bound (among all candidates when no time bound was given).
+	BestError float64
+	// BestLatency is the smallest predicted latency among candidates that
+	// meet the error bound (among all candidates when no error bound was
+	// given).
+	BestLatency time.Duration
+}
+
+// Error implements error.
+func (e *UnsatisfiableBoundsError) Error() string {
+	parts := make([]string, 0, 2)
+	if e.Bounds.ErrorBound > 0 {
+		parts = append(parts, fmt.Sprintf("error_bound %g (best achievable %.4g)", e.Bounds.ErrorBound, e.BestError))
+	}
+	if e.Bounds.TimeBound > 0 {
+		parts = append(parts, fmt.Sprintf("time_bound %v (best achievable %v)", e.Bounds.TimeBound, e.BestLatency.Round(time.Microsecond)))
+	}
+	return "core: no plan satisfies " + strings.Join(parts, " and ")
+}
+
+// costRate is the calibrated scan-throughput estimate: an exponentially
+// weighted moving average of observed rows/second over executed plans,
+// updated lock-free so concurrent queries can feed it.
+type costRate struct {
+	bits atomic.Uint64 // math.Float64bits of the EWMA; 0 = no observations
+}
+
+// observe folds one plan execution into the moving average.
+func (c *costRate) observe(rows int64, elapsed time.Duration) {
+	if rows <= 0 || elapsed <= 0 {
+		return
+	}
+	r := float64(rows) / elapsed.Seconds()
+	for {
+		old := c.bits.Load()
+		next := r
+		if old != 0 {
+			next = 0.7*math.Float64frombits(old) + 0.3*r
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// estimate returns the calibrated rate, or ok=false before any observation.
+func (c *costRate) estimate() (float64, bool) {
+	bits := c.bits.Load()
+	if bits == 0 {
+		return 0, false
+	}
+	return math.Float64frombits(bits), true
+}
+
+// countBucket summarises a band of similarly-sized groups: vals distinct
+// values averaging rows base rows each.
+type countBucket struct {
+	rows float64
+	vals float64
+}
+
+// colDist is the planner's compact marginal distribution for one column of
+// S: log-bucketed estimated frequencies of the common values (recovered from
+// the overall sample, so it works for states restored from disk and tracks
+// ingested data up to the last reservoir refresh) plus the rare-side summary
+// from the exact pre-processing metadata.
+type colDist struct {
+	common     []countBucket
+	rareVals   float64
+	rareRows   float64
+	multiLevel bool
+	// outsideS marks a column with no small group table: its marginal is
+	// estimated purely from the overall sample, so values too rare to be
+	// sampled are invisible and the prediction can be optimistic.
+	outsideS bool
+}
+
+// plannerStats is the lazily built, immutable-after-build planner input for
+// one prepared sample family. It is shared (by pointer) across the
+// copy-on-write clones the online ingest path publishes, so the calibrated
+// scan rate survives sample maintenance; the histograms are rebuilt only by
+// a full rebuild, which is exactly when the metadata they derive from
+// changes. See docs/ACCURACY.md for the staleness caveats.
+type plannerStats struct {
+	once sync.Once
+	rate costRate
+
+	cols        map[string]colDist
+	baseRows    float64
+	overallRows int64
+	uniform     bool // overall sample is flat, unweighted, uniformly drawn
+}
+
+// build derives the per-column marginal distributions by one pass over the
+// overall sample per column of S.
+func (ps *plannerStats) build(p *smallGroupPrepared) {
+	ps.cols = make(map[string]colDist, len(p.meta.Columns()))
+	src := p.overall.src
+	ps.overallRows = int64(src.NumRows())
+	otbl, flat := src.(*engine.Table)
+	ps.uniform = flat && otbl.Weights == nil && p.overallScale > 0
+	ps.baseRows = float64(p.meta.BaseRows)
+	if ps.uniform {
+		// The live row count: overallScale is maintained across ingest.
+		ps.baseRows = p.overallScale * float64(ps.overallRows)
+	}
+	scale := p.overallScale
+	if scale <= 0 {
+		scale = 1
+	}
+	for _, cm := range p.meta.Columns() {
+		acc, err := src.Accessor(cm.Column)
+		if err != nil {
+			continue // renormalized layouts may not expose every column here
+		}
+		est := make(map[engine.Value]float64, len(cm.Common))
+		for row := 0; row < int(ps.overallRows); row++ {
+			v := acc.Value(row)
+			if _, common := cm.Common[v]; common {
+				est[v] += src.RowWeight(row) * scale
+			}
+		}
+		// Common values the sample missed still exist; credit them one
+		// sample-row equivalent so they land in the smallest bucket.
+		for v := range cm.Common {
+			if _, ok := est[v]; !ok {
+				est[v] = scale
+			}
+		}
+		d := colDist{multiLevel: cm.Exact != nil, common: bucketize(est)}
+		d.rareVals = float64(cm.Distinct - len(cm.Common))
+		d.rareRows = float64(cm.RareRows)
+		if d.rareVals <= 0 && d.rareRows > 0 {
+			d.rareVals = 1
+		}
+		ps.cols[cm.Column] = d
+	}
+	// Columns outside S (no rare values worth a table, or too many distinct
+	// values) still split group-bys. When the overall sample is a flat table
+	// we can estimate their whole marginal from the sample — values it missed
+	// stay invisible, which predictError surfaces as a caveat.
+	if !flat {
+		return
+	}
+	for _, col := range otbl.ColumnNames() {
+		if _, done := ps.cols[col]; done {
+			continue
+		}
+		acc, err := src.Accessor(col)
+		if err != nil {
+			continue
+		}
+		est := make(map[engine.Value]float64)
+		for row := 0; row < int(ps.overallRows); row++ {
+			est[acc.Value(row)] += src.RowWeight(row) * scale
+		}
+		ps.cols[col] = colDist{common: bucketize(est), outsideS: true}
+	}
+}
+
+// bucketize collapses estimated per-value frequencies into log2-spaced
+// bands of similarly sized groups.
+func bucketize(est map[engine.Value]float64) []countBucket {
+	byBucket := make(map[int]*countBucket)
+	for _, c := range est {
+		if c <= 0 {
+			continue
+		}
+		k := int(math.Floor(math.Log2(c)))
+		b := byBucket[k]
+		if b == nil {
+			b = &countBucket{}
+			byBucket[k] = b
+		}
+		b.rows += c
+		b.vals++
+	}
+	out := make([]countBucket, 0, len(byBucket))
+	for _, b := range byBucket {
+		out = append(out, countBucket{rows: b.rows / b.vals, vals: b.vals})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].rows < out[j].rows })
+	return out
+}
+
+// marginal is one column's bucket list for the combo enumeration.
+type marginal struct {
+	col     string
+	buckets []comboBucket
+}
+
+type comboBucket struct {
+	p    float64 // probability a random base row carries a value of this band
+	vals float64 // distinct values in the band
+	rare bool    // band is stored in the column's small group table
+}
+
+// maxErrorCombos caps the bucket-combination enumeration; beyond it the
+// per-column distributions collapse to two-point summaries.
+const maxErrorCombos = 50000
+
+// predictError evaluates the §4.4 error model online: the expected mean
+// per-group relative error at confidence z of answering q from sampleRows
+// overall-sample rows, with the small group tables of the columns in used
+// answering their rare bands exactly. The model mirrors
+// internal/model.Evaluate — per-group squared relative error (1−p)/(s·σ·p)
+// capped at 1, groups weighted by their existence probability — with the
+// group-probability distribution taken from the live marginals instead of an
+// analytical two-point assumption, independence across grouping columns, and
+// selectivity σ = 1 (see docs/ACCURACY.md for when that is unreliable).
+func (ps *plannerStats) predictError(q *engine.Query, used map[string]bool, sampleRows float64, z float64) (float64, []string) {
+	var caveats []string
+	if len(q.Where) > 0 {
+		caveats = append(caveats, "selection predicates: prediction assumes selectivity 1, so it understates the error of selective queries")
+	}
+	margs := make([]marginal, 0, len(q.GroupBy))
+	combos := 1.0
+	for _, col := range q.GroupBy {
+		d, ok := ps.cols[col]
+		if !ok {
+			caveats = append(caveats, fmt.Sprintf("column %s has no sample metadata: prediction treats it as non-splitting and is optimistic", col))
+			continue
+		}
+		if d.multiLevel && used[col] {
+			caveats = append(caveats, fmt.Sprintf("column %s uses multi-level bands: subsampled medium groups are predicted as exact", col))
+		}
+		if d.outsideS {
+			caveats = append(caveats, fmt.Sprintf("column %s has no small group table: its marginal is estimated from the overall sample alone, and values the sample missed are invisible to the prediction", col))
+		}
+		m := marginal{col: col}
+		for _, b := range d.common {
+			m.buckets = append(m.buckets, comboBucket{p: b.rows / ps.baseRows, vals: b.vals})
+		}
+		if d.rareVals > 0 {
+			m.buckets = append(m.buckets, comboBucket{p: d.rareRows / d.rareVals / ps.baseRows, vals: d.rareVals, rare: true})
+		}
+		margs = append(margs, m)
+		combos *= float64(len(m.buckets))
+	}
+	if len(margs) == 0 {
+		// No splitting column: one global group, answered from the whole
+		// sample — the model predicts (1−p)→0 error for it.
+		return 0, caveats
+	}
+	if combos > maxErrorCombos {
+		for i := range margs {
+			margs[i].buckets = collapseTwoPoint(margs[i].buckets)
+		}
+	}
+
+	var errSum, wSum float64
+	var walk func(i int, p, vals float64, exact bool)
+	walk = func(i int, p, vals float64, exact bool) {
+		if i == len(margs) {
+			w := vals * -math.Expm1(-ps.baseRows*p) // existence weight 1−e^{−N·p}
+			if w <= 0 {
+				return
+			}
+			e := 0.0
+			if !exact {
+				sp := sampleRows * p
+				if sp <= 0 {
+					e = 1
+				} else {
+					e = math.Min(1, z*math.Sqrt(math.Max(1-p, 1e-9)/sp))
+				}
+			}
+			errSum += w * e
+			wSum += w
+			return
+		}
+		for _, b := range margs[i].buckets {
+			walk(i+1, p*b.p, vals*b.vals, exact || (b.rare && used[margs[i].col]))
+		}
+	}
+	walk(0, 1, 1, false)
+	if wSum == 0 {
+		return 0, caveats
+	}
+	return errSum / wSum, caveats
+}
+
+// collapseTwoPoint reduces a bucket list to at most one common and one rare
+// bucket (the §4.4 two-point form), preserving total mass and value counts.
+func collapseTwoPoint(buckets []comboBucket) []comboBucket {
+	var out []comboBucket
+	for _, want := range []bool{false, true} {
+		var rows, vals float64
+		for _, b := range buckets {
+			if b.rare == want {
+				rows += b.p * b.vals
+				vals += b.vals
+			}
+		}
+		if vals > 0 {
+			out = append(out, comboBucket{p: rows / vals, vals: vals, rare: want})
+		}
+	}
+	return out
+}
+
+// planChoice pairs a candidate with its executable plan.
+type planChoice struct {
+	cand PlanCandidate
+	plan *RewritePlan
+}
+
+// defaultFractions are the overall-sample prefix fractions the planner
+// explores. A prefix of the uniform reservoir sample is itself a uniform
+// sample (reservoir slots are exchangeable), so trimming trades error for
+// rows with no statistical bias.
+var defaultFractions = []float64{1, 0.5, 0.25, 0.1}
+
+// scanRate resolves the throughput estimate for latency predictions: the
+// configured pin wins (tests and operators), then the calibrated moving
+// average, then the conservative default.
+func (p *smallGroupPrepared) scanRate() float64 {
+	if r := p.cfg.ScanRowsPerSecond; r > 0 {
+		return r
+	}
+	if p.pstats != nil {
+		if r, ok := p.pstats.rate.estimate(); ok {
+			return r
+		}
+	}
+	return DefaultScanRowsPerSecond
+}
+
+// stats returns the lazily built planner statistics. A prepared state
+// assembled without pstats (only possible through test struct literals)
+// gets a throwaway build.
+func (p *smallGroupPrepared) stats() *plannerStats {
+	ps := p.pstats
+	if ps == nil {
+		ps = &plannerStats{}
+	}
+	ps.once.Do(func() { ps.build(p) })
+	return ps
+}
+
+// relevantCapped is the table set Plan would use: the relevant tables under
+// the MaxTablesPerQuery heuristic, in index order.
+func (p *smallGroupPrepared) relevantCapped(q *engine.Query) []TableRef {
+	relevant := p.meta.RelevantTables(q.GroupBy)
+	if max := p.cfg.MaxTablesPerQuery; max > 0 && len(relevant) > max {
+		sort.Slice(relevant, func(i, j int) bool { return relevant[i].RareRows > relevant[j].RareRows })
+		relevant = relevant[:max]
+		sort.Slice(relevant, func(i, j int) bool { return relevant[i].Index < relevant[j].Index })
+	}
+	return relevant
+}
+
+// enumerate builds the candidate plans for q: every prefix (by descending
+// rare-row mass, §4.2.3's preference order) of the relevant small group
+// tables × each overall-sample fraction, plus the exact fallback when the
+// base data is attached. Candidates are predicted but not executed.
+func (p *smallGroupPrepared) enumerate(q *engine.Query, z float64, withFractions, includeExact bool) ([]*planChoice, []string) {
+	ps := p.stats()
+	relevant := p.relevantCapped(q)
+	// Inclusion priority: largest rare mass first.
+	pri := append([]TableRef(nil), relevant...)
+	sort.Slice(pri, func(i, j int) bool { return pri[i].RareRows > pri[j].RareRows })
+
+	fractions := defaultFractions
+	if !withFractions || !ps.uniform {
+		fractions = []float64{1}
+	}
+	overallRows := ps.overallRows
+
+	var caveats []string
+	var choices []*planChoice
+	for k := 0; k <= len(pri); k++ {
+		subset := append([]TableRef(nil), pri[:k]...)
+		sort.Slice(subset, func(i, j int) bool { return subset[i].Index < subset[j].Index })
+		used := make(map[string]bool, k)
+		var tableNames []string
+		var tableRows int64
+		for _, ref := range subset {
+			for _, col := range ref.Columns {
+				if len(ref.Columns) == 1 {
+					used[col] = true
+				}
+			}
+			tableNames = append(tableNames, p.tables[ref.Index].name)
+			tableRows += p.tables[ref.Index].rows()
+		}
+		seen := map[int64]bool{}
+		for _, f := range fractions {
+			m := int64(math.Ceil(f * float64(overallRows)))
+			if m < 1 {
+				m = 1
+			}
+			if m >= overallRows {
+				m, f = overallRows, 1
+			}
+			if seen[m] {
+				continue
+			}
+			seen[m] = true
+
+			plan := &RewritePlan{Query: q, Workers: p.cfg.Workers}
+			usedMask := bitmask.New(p.meta.Width())
+			for _, ref := range subset {
+				plan.Steps = append(plan.Steps, RewriteStep{
+					Source:  p.tables[ref.Index].src,
+					Name:    p.tables[ref.Index].name,
+					Exclude: usedMask.Clone(),
+					Scale:   1,
+				})
+				usedMask.Set(ref.Index)
+			}
+			scale := p.overallScale
+			var maxRows int
+			if f < 1 {
+				maxRows = int(m)
+				scale = p.overallScale * float64(overallRows) / float64(m)
+			}
+			plan.Steps = append(plan.Steps, RewriteStep{
+				Source:  p.overall.src,
+				Name:    p.overall.name,
+				Exclude: usedMask,
+				Scale:   scale,
+				MaxRows: maxRows,
+			})
+
+			predErr, cavs := ps.predictError(q, used, float64(m), z)
+			if k == len(pri) && f == 1 {
+				caveats = cavs // report the full plan's caveats once
+			}
+			rows := tableRows + m
+			name := strings.Join(append(append([]string(nil), tableNames...), p.overall.name), "+")
+			if f < 1 {
+				name += fmt.Sprintf("/%g", f)
+			}
+			choices = append(choices, &planChoice{
+				cand: PlanCandidate{
+					Name:            name,
+					Tables:          tableNames,
+					OverallFraction: f,
+					Rows:            rows,
+					PredictedError:  predErr,
+				},
+				plan: plan,
+			})
+		}
+	}
+	if includeExact && p.db != nil {
+		choices = append(choices, &planChoice{
+			cand: PlanCandidate{Name: "exact", Rows: int64(p.db.NumRows()), Exact: true},
+			plan: &RewritePlan{Query: q, Workers: p.cfg.Workers, Steps: []RewriteStep{{
+				Source: p.db, Name: p.db.Name, Scale: 1, MarkExact: true,
+			}}},
+		})
+	}
+	rate := p.scanRate()
+	for _, c := range choices {
+		c.cand.PredictedLatency = time.Duration(float64(c.cand.Rows) / rate * float64(time.Second))
+		c.cand.PredictedLatencyMicros = c.cand.PredictedLatency.Microseconds()
+	}
+	return choices, caveats
+}
+
+// selectBounded picks the plan for explicit bounds: the cheapest (minimum
+// predicted latency) candidate predicted to satisfy every given bound; with
+// only a time bound, the most accurate candidate within it. softBudget — the
+// request deadline's remaining time, when one applies — prefers candidates
+// that also fit the deadline but never causes a 422 by itself. Returns an
+// *UnsatisfiableBoundsError when no candidate satisfies the bounds.
+func selectBounded(choices []*planChoice, b Bounds, softBudget time.Duration) (*planChoice, error) {
+	var feasible []*planChoice
+	for _, c := range choices {
+		ok := (b.ErrorBound == 0 || c.cand.PredictedError <= b.ErrorBound) &&
+			(b.TimeBound == 0 || c.cand.PredictedLatency <= b.TimeBound)
+		c.cand.Feasible = ok
+		if ok {
+			feasible = append(feasible, c)
+		}
+	}
+	if len(feasible) == 0 {
+		unsat := &UnsatisfiableBoundsError{Bounds: b, BestError: math.Inf(1), BestLatency: time.Duration(math.MaxInt64)}
+		for _, c := range choices {
+			if (b.TimeBound == 0 || c.cand.PredictedLatency <= b.TimeBound) && c.cand.PredictedError < unsat.BestError {
+				unsat.BestError = c.cand.PredictedError
+			}
+			if (b.ErrorBound == 0 || c.cand.PredictedError <= b.ErrorBound) && c.cand.PredictedLatency < unsat.BestLatency {
+				unsat.BestLatency = c.cand.PredictedLatency
+			}
+		}
+		if math.IsInf(unsat.BestError, 1) { // nothing fits the time bound at all
+			for _, c := range choices {
+				unsat.BestError = math.Min(unsat.BestError, c.cand.PredictedError)
+			}
+		}
+		if unsat.BestLatency == time.Duration(math.MaxInt64) {
+			for _, c := range choices {
+				if c.cand.PredictedLatency < unsat.BestLatency {
+					unsat.BestLatency = c.cand.PredictedLatency
+				}
+			}
+		}
+		return nil, unsat
+	}
+	pool := feasible
+	if softBudget > 0 {
+		var fitting []*planChoice
+		for _, c := range pool {
+			if c.cand.PredictedLatency <= softBudget {
+				fitting = append(fitting, c)
+			}
+		}
+		if len(fitting) > 0 {
+			pool = fitting
+		}
+	}
+	best := pool[0]
+	for _, c := range pool[1:] {
+		if b.ErrorBound > 0 {
+			// Cheapest plan meeting the bounds; accuracy breaks ties.
+			if c.cand.PredictedLatency < best.cand.PredictedLatency ||
+				(c.cand.PredictedLatency == best.cand.PredictedLatency && c.cand.PredictedError < best.cand.PredictedError) {
+				best = c
+			}
+		} else {
+			// Time bound only: most accurate plan within it; cost breaks ties.
+			if c.cand.PredictedError < best.cand.PredictedError ||
+				(c.cand.PredictedError == best.cand.PredictedError && c.cand.PredictedLatency < best.cand.PredictedLatency) {
+				best = c
+			}
+		}
+	}
+	return best, nil
+}
+
+// selectForDeadline picks the plan for the implicit-deadline path (a request
+// deadline with no explicit bounds): the most accurate candidate whose
+// predicted latency fits the remaining budget, falling back to the cheapest
+// candidate when nothing fits — degradation always produces an answer. The
+// second return reports whether the choice degraded below the full plan.
+func selectForDeadline(choices []*planChoice, budget time.Duration) (*planChoice, bool) {
+	full := choices[0]
+	for _, c := range choices[1:] {
+		if len(c.cand.Tables) > len(full.cand.Tables) ||
+			(len(c.cand.Tables) == len(full.cand.Tables) && c.cand.Rows > full.cand.Rows) {
+			full = c
+		}
+	}
+	var best *planChoice
+	for _, c := range choices {
+		if c.cand.PredictedLatency > budget {
+			continue
+		}
+		if best == nil ||
+			c.cand.PredictedError < best.cand.PredictedError ||
+			(c.cand.PredictedError == best.cand.PredictedError && len(c.cand.Tables) > len(best.cand.Tables)) ||
+			(c.cand.PredictedError == best.cand.PredictedError && len(c.cand.Tables) == len(best.cand.Tables) && c.cand.Rows < best.cand.Rows) {
+			best = c
+		}
+	}
+	if best == nil {
+		// Nothing fits: cheapest candidate, flagged degraded.
+		best = choices[0]
+		for _, c := range choices[1:] {
+			if c.cand.Rows < best.cand.Rows {
+				best = c
+			}
+		}
+		return best, true
+	}
+	return best, best != full
+}
+
+// achievedError estimates the answer's realized mean per-group relative
+// error from its confidence intervals: half-width over |estimate|, capped at
+// 1, worst aggregate per group, 0 for exact groups. This is the cheap online
+// error estimate reported back as "achieved" — see docs/ACCURACY.md.
+func achievedError(res *engine.Result, ivs map[engine.GroupKey][]stats.Interval) float64 {
+	if res.NumGroups() == 0 {
+		return 0
+	}
+	var sum float64
+	for _, k := range res.Keys() {
+		g := res.Group(k)
+		if g.Exact {
+			continue
+		}
+		var worst float64
+		for i, iv := range ivs[k] {
+			half := iv.Width() / 2
+			if half == 0 {
+				continue
+			}
+			rel := 1.0
+			if est := math.Abs(g.Vals[i]); est > 0 {
+				rel = math.Min(1, half/est)
+			}
+			worst = math.Max(worst, rel)
+		}
+		sum += worst
+	}
+	return sum / float64(res.NumGroups())
+}

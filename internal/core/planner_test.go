@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/randx"
+)
+
+func countQuery(cols ...string) *engine.Query {
+	return &engine.Query{GroupBy: cols, Aggs: []engine.Aggregate{{Kind: engine.Count}}}
+}
+
+// plannerDB builds a distribution with a clean planner separation: four
+// well-sampled common regions (40/30/20/9.5% of mass) plus ten genuinely
+// rare ones sharing the remaining 0.5%. A moderately sized overall sample
+// then predicts a mean error between 0.01 and 0.10 for the full sample
+// plan, so nearby bounds select different plans.
+func plannerDB(t testing.TB, n int) *engine.Database {
+	t.Helper()
+	region := engine.NewColumn("region", engine.String)
+	amount := engine.NewColumn("amount", engine.Float)
+	fact := engine.NewTable("fact", region, amount)
+	rng := randx.New(99)
+	for i := 0; i < n; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.40:
+			region.AppendString("R0")
+		case r < 0.70:
+			region.AppendString("R1")
+		case r < 0.90:
+			region.AppendString("R2")
+		case r < 0.995:
+			region.AppendString("R3")
+		default:
+			region.AppendString("X" + string(rune('0'+rng.Intn(10))))
+		}
+		amount.AppendFloat(rng.Float64() * 100)
+		fact.EndRow()
+	}
+	return engine.MustNewDatabase("plannerdb", fact)
+}
+
+func TestCostRateEWMA(t *testing.T) {
+	var c costRate
+	if _, ok := c.estimate(); ok {
+		t.Fatal("estimate available before any observation")
+	}
+	c.observe(1000, time.Second)
+	r, ok := c.estimate()
+	if !ok || math.Abs(r-1000) > 1e-6 {
+		t.Fatalf("first observation: rate %g ok=%v, want 1000", r, ok)
+	}
+	c.observe(3000, time.Second)
+	r, _ = c.estimate()
+	if math.Abs(r-1600) > 1e-6 { // 0.7*1000 + 0.3*3000
+		t.Fatalf("EWMA after second observation: %g, want 1600", r)
+	}
+	c.observe(0, time.Second)
+	c.observe(100, 0)
+	if r2, _ := c.estimate(); r2 != r {
+		t.Fatalf("degenerate observations moved the rate: %g -> %g", r, r2)
+	}
+}
+
+func TestPredictErrorShrinksWithSampleAndTables(t *testing.T) {
+	db := skewedDB(t, 20000)
+	p := prep(t, db, SmallGroupConfig{BaseRate: 0.05, Seed: 1})
+	ps := p.stats()
+	q := countQuery("a")
+	const z = 1.96
+
+	small, _ := ps.predictError(q, nil, 100, z)
+	large, _ := ps.predictError(q, nil, 2000, z)
+	if !(large < small) {
+		t.Fatalf("more sample rows did not shrink predicted error: %g -> %g", small, large)
+	}
+	withTable, _ := ps.predictError(q, map[string]bool{"a": true}, 100, z)
+	if !(withTable < small) {
+		t.Fatalf("using a's small group table did not shrink predicted error: %g -> %g", small, withTable)
+	}
+	if small > 1 || withTable < 0 {
+		t.Fatalf("predictions out of range: %g, %g", small, withTable)
+	}
+}
+
+func TestPredictErrorCaveats(t *testing.T) {
+	db := skewedDB(t, 20000)
+	p := prep(t, db, SmallGroupConfig{BaseRate: 0.05, Seed: 1})
+	ps := p.stats()
+
+	q := countQuery("a")
+	q.Where = []engine.Predicate{engine.NewCmp("b", engine.Eq, engine.StringVal("B0"))}
+	_, caveats := ps.predictError(q, nil, 500, 1.96)
+	if len(caveats) == 0 {
+		t.Fatal("predicate query produced no caveat")
+	}
+	// u is outside S (too many distinct values): prediction must say so.
+	_, caveats = ps.predictError(countQuery("u"), nil, 500, 1.96)
+	if len(caveats) == 0 {
+		t.Fatal("grouping by a column outside S produced no caveat")
+	}
+}
+
+func TestAnswerBoundsSelectsDifferentPlans(t *testing.T) {
+	db := plannerDB(t, 20000)
+	p := prep(t, db, SmallGroupConfig{BaseRate: 0.2, SmallGroupFraction: 0.05, ScanRowsPerSecond: 25e6, Seed: 1})
+	q := countQuery("region")
+	ctx := context.Background()
+
+	loose, err := p.AnswerBounds(ctx, q, Bounds{ErrorBound: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := p.AnswerBounds(ctx, q, Bounds{ErrorBound: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Plan == nil || tight.Plan == nil {
+		t.Fatal("bounded answers missing plan decisions")
+	}
+	if loose.Plan.Chosen.Name == tight.Plan.Chosen.Name {
+		t.Fatalf("bounds 0.10 and 0.01 selected the same plan %q", loose.Plan.Chosen.Name)
+	}
+	if loose.RowsRead >= tight.RowsRead {
+		t.Fatalf("looser bound read more rows: %d vs %d", loose.RowsRead, tight.RowsRead)
+	}
+	for _, ans := range []*Answer{loose, tight} {
+		d := ans.Plan
+		if d.Chosen.PredictedError > d.Bounds.ErrorBound {
+			t.Fatalf("chosen plan %q predicted %g above bound %g",
+				d.Chosen.Name, d.Chosen.PredictedError, d.Bounds.ErrorBound)
+		}
+		if d.AchievedError < 0 || d.AchievedError > 1 {
+			t.Fatalf("achieved error %g out of range", d.AchievedError)
+		}
+		if len(d.Candidates) < 2 {
+			t.Fatalf("only %d candidates considered", len(d.Candidates))
+		}
+	}
+}
+
+func TestAnswerBoundsTimeOnlyPrefersAccuracy(t *testing.T) {
+	db := skewedDB(t, 20000)
+	p := prep(t, db, SmallGroupConfig{BaseRate: 0.05, ScanRowsPerSecond: 25e6, Seed: 1})
+	ans, err := p.AnswerBounds(context.Background(), countQuery("a"), Bounds{TimeBound: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous time budget admits the exact fallback, which any accuracy
+	// preference must select.
+	if !ans.Plan.Chosen.Exact {
+		t.Fatalf("generous time bound chose %q, want the exact plan", ans.Plan.Chosen.Name)
+	}
+	if ans.Plan.AchievedError != 0 || ans.Plan.Chosen.PredictedError != 0 {
+		t.Fatalf("exact plan reported nonzero error: predicted %g achieved %g",
+			ans.Plan.Chosen.PredictedError, ans.Plan.AchievedError)
+	}
+	for _, g := range ans.Result.Groups() {
+		if !g.Exact {
+			t.Fatal("exact plan produced inexact group")
+		}
+	}
+}
+
+func TestAnswerBoundsUnsatisfiable(t *testing.T) {
+	db := skewedDB(t, 20000)
+	// Pin an implausibly slow scan rate so even the cheapest plan busts a
+	// millisecond time bound, while the error bound demands the exact plan.
+	p := prep(t, db, SmallGroupConfig{BaseRate: 0.05, ScanRowsPerSecond: 1000, Seed: 1})
+	_, err := p.AnswerBounds(context.Background(), countQuery("a"),
+		Bounds{ErrorBound: 1e-9, TimeBound: time.Millisecond})
+	var unsat *UnsatisfiableBoundsError
+	if !errors.As(err, &unsat) {
+		t.Fatalf("error %v, want UnsatisfiableBoundsError", err)
+	}
+	if unsat.BestLatency < time.Second {
+		t.Fatalf("best latency %v implausibly small for a 20000-row exact scan at 1000 rows/s", unsat.BestLatency)
+	}
+	if unsat.Bounds.ErrorBound != 1e-9 || unsat.Bounds.TimeBound != time.Millisecond {
+		t.Fatalf("error does not echo the requested bounds: %+v", unsat.Bounds)
+	}
+	if unsat.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestAnswerBoundsZeroMatchesAnswerCtx(t *testing.T) {
+	db := skewedDB(t, 20000)
+	p := prep(t, db, SmallGroupConfig{BaseRate: 0.05, Seed: 1})
+	q := countQuery("a", "b")
+	plain, err := p.AnswerCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := p.AnswerBounds(context.Background(), q, Bounds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Plan != nil {
+		t.Fatal("zero bounds produced a plan decision")
+	}
+	if plain.RowsRead != bounded.RowsRead {
+		t.Fatalf("rows read differ: %d vs %d", plain.RowsRead, bounded.RowsRead)
+	}
+	for _, k := range plain.Result.Keys() {
+		g1, g2 := plain.Result.Group(k), bounded.Result.Group(k)
+		if g2 == nil || g1.Vals[0] != g2.Vals[0] {
+			t.Fatalf("group %v values differ between AnswerCtx and zero-bounds AnswerBounds", g1.Key)
+		}
+	}
+}
+
+func TestFractionalOverallStepScalesBack(t *testing.T) {
+	db := skewedDB(t, 20000)
+	p := prep(t, db, SmallGroupConfig{BaseRate: 0.05, ScanRowsPerSecond: 25e6, Seed: 1})
+	choices, _ := p.enumerate(countQuery("a"), 1.96, true, true)
+	var frac *planChoice
+	for _, c := range choices {
+		if c.cand.OverallFraction > 0 && c.cand.OverallFraction < 1 {
+			frac = c
+			break
+		}
+	}
+	if frac == nil {
+		t.Fatal("no fractional candidate enumerated over a uniform overall sample")
+	}
+	last := frac.plan.Steps[len(frac.plan.Steps)-1]
+	if last.MaxRows <= 0 || last.MaxRows >= p.overall.src.NumRows() {
+		t.Fatalf("fractional overall step MaxRows %d not a strict prefix of %d", last.MaxRows, p.overall.src.NumRows())
+	}
+	// The trimmed prefix must be scaled up so estimates stay unbiased:
+	// scale * maxRows == overallScale * overallRows.
+	want := p.overallScale * float64(p.overall.src.NumRows())
+	got := last.Scale * float64(last.MaxRows)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("fraction scale does not compensate: scale*rows %g, want %g", got, want)
+	}
+	// Executing the fractional plan still yields estimates near the full
+	// plan's for the dominant group (sanity of the rescaling).
+	res, _, err := ExecutePlanCtx(context.Background(), frac.plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, g := range res.Groups() {
+		total += g.Vals[0]
+	}
+	if total < 10000 || total > 40000 {
+		t.Fatalf("fractional plan total count %g wildly off base 20000", total)
+	}
+}

@@ -25,6 +25,10 @@ type RewriteStep struct {
 	Scale float64
 	// MarkExact tags produced groups as exact.
 	MarkExact bool
+	// MaxRows, when > 0, caps the scan at the source's first MaxRows rows —
+	// the planner's sampling-fraction knob over the (exchangeable) reservoir
+	// overall sample. Scale is expected to carry the compensating factor.
+	MaxRows int
 }
 
 // StepFor builds an unfiltered step over a flat sample table.
@@ -82,6 +86,9 @@ func (p *RewritePlan) SQL() string {
 		}
 		sb.WriteString(" FROM ")
 		sb.WriteString(st.Name)
+		if st.MaxRows > 0 {
+			fmt.Fprintf(&sb, "[:%d]", st.MaxRows)
+		}
 		where := make([]string, 0, len(p.Query.Where)+1)
 		for _, pr := range p.Query.Where {
 			where = append(where, pr.String())

@@ -317,7 +317,7 @@ func (s *SmallGroup) Preprocess(db *engine.Database) (Prepared, error) {
 		res.Offer(row)
 	}
 
-	p := &smallGroupPrepared{db: db, meta: meta, cfg: cfg, tables: make([]sampleSource, width)}
+	p := &smallGroupPrepared{db: db, meta: meta, cfg: cfg, tables: make([]sampleSource, width), pstats: &plannerStats{}}
 
 	names := make([]string, width)
 	for _, cm := range meta.Columns() {

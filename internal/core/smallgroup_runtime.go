@@ -51,6 +51,11 @@ type smallGroupPrepared struct {
 	// sharedDims holds the renormalized storage's shared reduced dimension
 	// tables (nil for flat join synopses).
 	sharedDims []*engine.Table
+	// pstats holds the lazily built planner statistics (per-column marginal
+	// distributions, calibrated scan rate). It is shared by pointer across
+	// the copy-on-write clones the online ingest path publishes, so the scan
+	// calibration survives sample maintenance.
+	pstats *plannerStats
 }
 
 // Meta exposes the metadata catalog (used by experiments and the CLI).
@@ -130,18 +135,90 @@ func (p *smallGroupPrepared) Answer(q *engine.Query) (*Answer, error) {
 }
 
 // AnswerCtx implements ContextAnswerer. Cancellation propagates into every
-// step's sharded scan; when ctx also carries a deadline, the plan is first
-// checked against the remaining budget (see degradeForDeadline) and may be
-// swapped for the cheaper overall-sample-only plan, flagged Answer.Degraded.
+// step's sharded scan; when ctx also carries a deadline, the planner picks
+// the most accurate plan predicted to fit the remaining budget (falling
+// back to the cheapest plan, flagged Answer.Degraded, when nothing fits).
 func (p *smallGroupPrepared) AnswerCtx(ctx context.Context, q *engine.Query) (*Answer, error) {
+	return p.answer(ctx, q, Bounds{})
+}
+
+// AnswerBounds implements BoundedAnswerer: it plans toward the requested
+// error/time bounds (see planner.go), executes the chosen plan, and reports
+// the decision — predicted vs achieved error, every candidate considered —
+// in Answer.Plan. When no candidate satisfies the bounds it returns an
+// *UnsatisfiableBoundsError without executing anything.
+func (p *smallGroupPrepared) AnswerBounds(ctx context.Context, q *engine.Query, b Bounds) (*Answer, error) {
+	return p.answer(ctx, q, b)
+}
+
+// answer is the shared runtime path: select a plan (three regimes: explicit
+// bounds, implicit request deadline, or the full default rewrite), execute
+// it, mark exactness, and attach intervals.
+func (p *smallGroupPrepared) answer(ctx context.Context, q *engine.Query, b Bounds) (*Answer, error) {
 	start := time.Now()
 	tr := obs.TraceFrom(ctx)
 	var endStage func()
 	if tr != nil {
 		endStage = tr.StartStage("select")
 	}
-	plan := p.Plan(q)
-	plan, degraded := p.degradeForDeadline(ctx, q, plan)
+	conf := b.Confidence
+	if conf == 0 {
+		conf = p.cfg.ConfidenceLevel
+	}
+	if conf == 0 {
+		conf = DefaultConfidenceLevel
+	}
+
+	var plan *RewritePlan
+	var decision *PlanDecision
+	var chosenExact, degraded bool
+	deadline, hasDeadline := ctx.Deadline()
+
+	switch {
+	case !b.IsZero():
+		// Explicit bounds: full candidate space (table subsets × overall
+		// fractions × exact fallback), strict selection.
+		z := stats.NormalQuantile(0.5 + conf/2)
+		choices, caveats := p.enumerate(q, z, true, true)
+		obsPlannerCandidates.Observe(float64(len(choices)))
+		var soft time.Duration
+		if hasDeadline {
+			soft = time.Until(deadline)
+		}
+		chosen, err := selectBounded(choices, b, soft)
+		if err != nil {
+			obsPlannerUnsat.Inc()
+			if tr != nil {
+				endStage()
+			}
+			return nil, err
+		}
+		plan = chosen.plan
+		chosenExact = chosen.cand.Exact
+		cands := make([]PlanCandidate, len(choices))
+		for i, c := range choices {
+			cands[i] = c.cand
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Rows < cands[j].Rows })
+		decision = &PlanDecision{
+			Bounds:     Bounds{ErrorBound: b.ErrorBound, TimeBound: b.TimeBound, Confidence: conf},
+			Chosen:     chosen.cand,
+			Candidates: cands,
+			Caveats:    caveats,
+		}
+	case hasDeadline:
+		// Implicit deadline, no stated bounds: the degradation path, now
+		// planner-chosen — most accurate table subset fitting the budget
+		// (fractions and the exact fallback stay opt-in via Bounds).
+		z := stats.NormalQuantile(0.5 + conf/2)
+		choices, _ := p.enumerate(q, z, false, false)
+		var chosen *planChoice
+		chosen, degraded = selectForDeadline(choices, time.Until(deadline))
+		plan = chosen.plan
+	default:
+		plan = p.Plan(q)
+	}
+
 	obsPlanSteps.Observe(float64(len(plan.Steps)))
 	if degraded {
 		obsDegraded.Inc()
@@ -157,29 +234,51 @@ func (p *smallGroupPrepared) AnswerCtx(ctx context.Context, q *engine.Query) (*A
 			}
 		}
 	}
+	execStart := time.Now()
 	combined, rowsRead, err := ExecutePlanCtx(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
+	// Feed the scan-throughput calibration from every executed plan, so
+	// latency predictions track the machine the server actually runs on.
+	if p.pstats != nil {
+		p.pstats.rate.observe(planRows(plan), time.Since(execStart))
+	}
 	if tr != nil {
 		endStage = tr.StartStage("finalize")
 	}
-	// Mark exactness from the metadata: a group is exact when one of the
-	// used tables stores all of its rows undownsampled (§4.2.2: "answers for
-	// groups that result from querying small group tables are marked as
-	// being exact"). Under the multi-level extension, medium-band groups are
-	// estimated from their subsampled rows and stay inexact.
-	used := p.usedTables(plan)
-	for _, g := range combined.Groups() {
-		g.Exact = p.meta.GroupIsExact(q.GroupBy, g.Key, used)
+	if !chosenExact {
+		// Mark exactness from the metadata: a group is exact when one of the
+		// used tables stores all of its rows undownsampled (§4.2.2: "answers
+		// for groups that result from querying small group tables are marked
+		// as being exact"). Under the multi-level extension, medium-band
+		// groups are estimated from their subsampled rows and stay inexact.
+		// The exact-fallback plan skips this: the engine already marked every
+		// group exact.
+		used := p.usedTables(plan)
+		for _, g := range combined.Groups() {
+			g.Exact = p.meta.GroupIsExact(q.GroupBy, g.Key, used)
+		}
 	}
+	ivs := ConfidenceIntervals(combined, conf)
 	ans := &Answer{
 		Result:    combined,
-		Intervals: ConfidenceIntervals(combined, p.cfg.ConfidenceLevel),
+		Intervals: ivs,
 		RowsRead:  rowsRead,
 		Elapsed:   time.Since(start),
 		Rewrite:   plan,
 		Degraded:  degraded,
+		Plan:      decision,
+	}
+	if decision != nil {
+		decision.AchievedError = achievedError(combined, ivs)
+		obsPlannerGap.Observe(math.Abs(decision.AchievedError - decision.Chosen.PredictedError))
+		if b.ErrorBound > 0 && decision.AchievedError > b.ErrorBound {
+			obsPlannerBoundMiss.Inc()
+		}
+		if tr != nil {
+			tr.SetPlanner(plannerTrace(decision))
+		}
 	}
 	if tr != nil {
 		endStage()
@@ -188,48 +287,47 @@ func (p *smallGroupPrepared) AnswerCtx(ctx context.Context, q *engine.Query) (*A
 	return ans, nil
 }
 
-// degradeForDeadline applies graceful degradation under deadline pressure:
-// when ctx carries a deadline and the plan's total sample-table rows —
-// known exactly from the metadata, no scanning needed — would take longer
-// to scan than the remaining budget (at the configured ScanRowsPerSecond
-// estimate), it returns the overall-sample-only plan instead. That plan
-// reads the fewest rows any estimate can (it is plain uniform sampling,
-// §4.1's first baseline), so it is the best answer producible in the time
-// left; groups lose small-group exactness but keep unbiased estimates and
-// confidence intervals. This is dynamic sample selection applied to
-// latency: the per-query choice of sample tables shrinks as the budget
-// does. Without a deadline the plan is returned unchanged.
-func (p *smallGroupPrepared) degradeForDeadline(ctx context.Context, q *engine.Query, plan *RewritePlan) (*RewritePlan, bool) {
-	dl, ok := ctx.Deadline()
-	if !ok || len(plan.Steps) <= 1 {
-		return plan, false
+// plannerTrace converts a PlanDecision into its explain-trace form.
+func plannerTrace(d *PlanDecision) *obs.PlannerData {
+	pd := &obs.PlannerData{
+		ErrorBound:      d.Bounds.ErrorBound,
+		TimeBoundMicros: d.Bounds.TimeBound.Microseconds(),
+		Confidence:      d.Bounds.Confidence,
+		Chosen:          d.Chosen.Name,
+		PredictedError:  d.Chosen.PredictedError,
+		AchievedError:   d.AchievedError,
+		Caveats:         d.Caveats,
 	}
-	rate := p.cfg.ScanRowsPerSecond
-	if rate <= 0 {
-		rate = DefaultScanRowsPerSecond
+	for _, c := range d.Candidates {
+		pd.Candidates = append(pd.Candidates, obs.PlannerCandidate{
+			Plan:                   c.Name,
+			Rows:                   c.Rows,
+			PredictedError:         c.PredictedError,
+			PredictedLatencyMicros: c.PredictedLatencyMicros,
+			Exact:                  c.Exact,
+			Feasible:               c.Feasible,
+		})
 	}
-	budgetRows := time.Until(dl).Seconds() * rate
-	if float64(planRows(plan)) <= budgetRows {
-		return plan, false
-	}
-	return &RewritePlan{
-		Query:   q,
-		Workers: plan.Workers,
-		Steps: []RewriteStep{{
-			Source: p.overall.src,
-			Name:   p.overall.name,
-			Scale:  p.overallScale,
-		}},
-	}, true
+	return pd
 }
 
 // planRows is the total number of sample rows a plan scans, before
-// predicate or bitmask filtering (the upper bound the degradation rule
-// budgets against).
+// predicate or bitmask filtering (the quantity latency predictions budget
+// against), honouring per-step MaxRows caps.
 func planRows(plan *RewritePlan) int64 {
 	var n int64
 	for _, st := range plan.Steps {
-		n += int64(st.Source.NumRows())
+		n += stepRows(st)
+	}
+	return n
+}
+
+// stepRows is the number of rows one step scans (its source size, capped by
+// MaxRows).
+func stepRows(st RewriteStep) int64 {
+	n := int64(st.Source.NumRows())
+	if st.MaxRows > 0 && int64(st.MaxRows) < n {
+		n = int64(st.MaxRows)
 	}
 	return n
 }
@@ -294,6 +392,7 @@ func ExecutePlanCtx(ctx context.Context, plan *RewritePlan) (*engine.Result, int
 			Scale:       st.Scale,
 			ExcludeMask: st.Exclude,
 			MarkExact:   st.MarkExact,
+			MaxRows:     st.MaxRows,
 			Workers:     plan.Workers,
 		})
 		if err != nil {
@@ -303,7 +402,7 @@ func ExecutePlanCtx(ctx context.Context, plan *RewritePlan) (*engine.Result, int
 			stepObs[i] = obs.SampleExec{
 				Table:  st.Name,
 				Rows:   res.RowsScanned,
-				Shards: engine.ShardsFor(st.Source.NumRows()),
+				Shards: engine.ShardsFor(int(stepRows(st))),
 				Scale:  st.Scale,
 				Micros: time.Since(stepStart).Microseconds(),
 			}

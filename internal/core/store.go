@@ -230,7 +230,7 @@ func LoadSmallGroup(r io.Reader) (Prepared, error) {
 		meta.AddPair(pm)
 	}
 
-	p := &smallGroupPrepared{meta: meta, cfg: cfg, overallScale: overallScale, dataGen: dataGen}
+	p := &smallGroupPrepared{meta: meta, cfg: cfg, overallScale: overallScale, dataGen: dataGen, pstats: &plannerStats{}}
 	for i := 0; i < meta.Width(); i++ {
 		t, err := engine.ReadBinary(br)
 		if err != nil {

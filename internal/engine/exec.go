@@ -23,6 +23,11 @@ type ExecOptions struct {
 	// MarkExact marks every produced group as exact (used for small group
 	// tables, which are not downsampled).
 	MarkExact bool
+	// MaxRows, when > 0, scans only the first MaxRows rows of the source.
+	// Over a reservoir sample — whose slots are exchangeable — the prefix is
+	// itself a uniform sample, so this is the planner's sampling-fraction
+	// knob; the caller compensates by raising Scale.
+	MaxRows int
 	// Workers selects the scan kernel. 0 (the zero value) runs the serial
 	// single-pass kernel, unchanged from the original implementation. Any
 	// value >= 1 runs the partitioned kernel: the source is split into
@@ -120,6 +125,9 @@ func ExecuteCtx(ctx context.Context, src Source, q *Query, opt ExecOptions) (*Re
 		return nil, err
 	}
 	n := src.NumRows()
+	if opt.MaxRows > 0 && opt.MaxRows < n {
+		n = opt.MaxRows
+	}
 	shards := parallel.Shards(n, ScanShardRows)
 	if opt.Workers <= 0 || len(shards) <= 1 {
 		// Serial kernel: one Result accumulated in row order, scanned

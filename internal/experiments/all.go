@@ -3,7 +3,7 @@ package experiments
 import "fmt"
 
 // Run executes the experiment with the given paper id. Valid ids: 3a, 3b, 4,
-// 5, 6, 7, 8, 9, sum, prep, gamma, tau, baselines.
+// 5, 6, 7, 8, 9, sum, prep, gamma, tau, baselines, levels, bounds.
 func (r *Runner) Run(id string) ([]*Figure, error) {
 	switch id {
 	case "3a":
@@ -44,6 +44,8 @@ func (r *Runner) Run(id string) ([]*Figure, error) {
 	case "levels":
 		f, err := r.Levels()
 		return wrap(f, err)
+	case "bounds":
+		return r.Bounds()
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
@@ -59,7 +61,7 @@ func wrap(f *Figure, err error) ([]*Figure, error) {
 // IDs lists every experiment id in paper order, followed by the ablations
 // and the beyond-paper baseline comparison.
 func IDs() []string {
-	return []string{"3a", "3b", "4", "5", "6", "7", "8", "9", "sum", "prep", "gamma", "tau", "baselines", "levels"}
+	return []string{"3a", "3b", "4", "5", "6", "7", "8", "9", "sum", "prep", "gamma", "tau", "baselines", "levels", "bounds"}
 }
 
 // All runs every experiment.

@@ -31,6 +31,43 @@ type SampleExec struct {
 	Micros int64   `json:"micros"`
 }
 
+// PlannerCandidate is one plan the bounded-query planner considered, with
+// its predictions.
+type PlannerCandidate struct {
+	// Plan names the candidate, e.g. "sg_store_region+sg_overall/0.25".
+	Plan string `json:"plan"`
+	// Rows is the number of sample (or base, for the exact plan) rows the
+	// candidate scans.
+	Rows int64 `json:"rows"`
+	// PredictedError is the model-predicted mean per-group relative error.
+	PredictedError float64 `json:"predicted_error"`
+	// PredictedLatencyMicros is the predicted scan latency.
+	PredictedLatencyMicros int64 `json:"predicted_latency_micros"`
+	// Exact marks the exact-fallback candidate.
+	Exact bool `json:"exact,omitempty"`
+	// Feasible reports whether the candidate satisfied the requested bounds.
+	Feasible bool `json:"feasible"`
+}
+
+// PlannerData is the planner's decision record for one bounded query: the
+// bounds, every candidate considered, the chosen plan, and predicted vs
+// achieved error. It appears in explain traces and /debug/slowlog entries.
+type PlannerData struct {
+	ErrorBound      float64 `json:"error_bound,omitempty"`
+	TimeBoundMicros int64   `json:"time_bound_micros,omitempty"`
+	// Confidence is the level the error bound and intervals are stated at.
+	Confidence float64 `json:"confidence"`
+	// Chosen names the selected candidate.
+	Chosen         string  `json:"chosen"`
+	PredictedError float64 `json:"predicted_error"`
+	AchievedError  float64 `json:"achieved_error"`
+	// Candidates lists every plan considered, cheapest first.
+	Candidates []PlannerCandidate `json:"candidates,omitempty"`
+	// Caveats say when the prediction is unreliable for this query (see
+	// docs/ACCURACY.md).
+	Caveats []string `json:"caveats,omitempty"`
+}
+
 // TraceData is the immutable snapshot of a finished (or in-progress) trace;
 // it is what /debug/slowlog stores and what an "explain": true response
 // embeds.
@@ -51,9 +88,12 @@ type TraceData struct {
 	SamplingFraction float64 `json:"sampling_fraction,omitempty"`
 	// Degraded is set when deadline pressure swapped the plan for the
 	// overall-sample-only fallback.
-	Degraded    bool  `json:"degraded,omitempty"`
-	RowsRead    int64 `json:"rows_read"`
-	TotalMicros int64 `json:"total_micros"`
+	Degraded bool `json:"degraded,omitempty"`
+	// Planner is the bounded-query planner's decision record; nil for
+	// unbounded queries.
+	Planner     *PlannerData `json:"planner,omitempty"`
+	RowsRead    int64        `json:"rows_read"`
+	TotalMicros int64        `json:"total_micros"`
 }
 
 // Trace accumulates the observability record of one query as it moves
@@ -131,6 +171,13 @@ func (t *Trace) SetSamplingFraction(f float64) {
 func (t *Trace) SetDegraded(d bool) {
 	t.lock()
 	t.data.Degraded = d
+	t.unlock()
+}
+
+// SetPlanner records the bounded-query planner's decision.
+func (t *Trace) SetPlanner(p *PlannerData) {
+	t.lock()
+	t.data.Planner = p
 	t.unlock()
 }
 

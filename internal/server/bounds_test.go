@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+	"dynsample/internal/randx"
+)
+
+// boundsSystem builds a fixture with a clean planner separation: four
+// well-sampled common regions plus ten genuinely rare ones, so an
+// error_bound of 0.10 is satisfiable by a trimmed sample plan while 0.01
+// forces the exact fallback. ScanRowsPerSecond is pinned so latency
+// predictions are deterministic.
+func boundsSystem(t *testing.T, scanRate float64) *core.System {
+	t.Helper()
+	region := engine.NewColumn("region", engine.String)
+	amount := engine.NewColumn("amount", engine.Float)
+	fact := engine.NewTable("sales", region, amount)
+	rng := randx.New(99)
+	for i := 0; i < 20000; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.40:
+			region.AppendString("R0")
+		case r < 0.70:
+			region.AppendString("R1")
+		case r < 0.90:
+			region.AppendString("R2")
+		case r < 0.995:
+			region.AppendString("R3")
+		default:
+			region.AppendString("X" + string(rune('0'+rng.Intn(10))))
+		}
+		amount.AppendFloat(rng.Float64() * 100)
+		fact.EndRow()
+	}
+	sys := core.NewSystem(engine.MustNewDatabase("salesdb", fact))
+	err := sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{
+		BaseRate:           0.2,
+		SmallGroupFraction: 0.05,
+		ScanRowsPerSecond:  scanRate,
+		Workers:            4,
+		Seed:               1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func boundsServer(t *testing.T, scanRate float64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(boundsSystem(t, scanRate), Config{}).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+const boundsSQL = "SELECT region, COUNT(*) FROM T GROUP BY region"
+
+func decodeQuery(t *testing.T, body []byte) QueryResponse {
+	t.Helper()
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("response %q is not a QueryResponse: %v", body, err)
+	}
+	return qr
+}
+
+// TestBoundedQueryPlanSelection is the end-to-end acceptance test for the
+// planner contract: error_bound 0.10 vs 0.01 select different plans on a
+// fixed dataset, and the tight request's achieved relative error — measured
+// against /v1/exact, not the response's own estimate — stays within its
+// returned predicted bound ×1.5.
+func TestBoundedQueryPlanSelection(t *testing.T) {
+	srv := boundsServer(t, 25e6)
+
+	resp, body := post(t, srv, "/v1/query", QueryRequest{SQL: boundsSQL, ErrorBound: 0.10})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("error_bound 0.10: status %d: %s", resp.StatusCode, body)
+	}
+	loose := decodeQuery(t, body)
+
+	resp, body = post(t, srv, "/v1/query", QueryRequest{SQL: boundsSQL, ErrorBound: 0.01})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("error_bound 0.01: status %d: %s", resp.StatusCode, body)
+	}
+	tight := decodeQuery(t, body)
+
+	if loose.Plan == "" || tight.Plan == "" {
+		t.Fatalf("bounded responses missing plan: %q vs %q", loose.Plan, tight.Plan)
+	}
+	if loose.Plan == tight.Plan {
+		t.Fatalf("error_bound 0.10 and 0.01 selected the same plan %q", loose.Plan)
+	}
+	if loose.RowsRead >= tight.RowsRead {
+		t.Fatalf("looser bound read more rows: %d vs %d", loose.RowsRead, tight.RowsRead)
+	}
+
+	resp, body = post(t, srv, "/v1/exact", QueryRequest{SQL: boundsSQL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/exact: status %d: %s", resp.StatusCode, body)
+	}
+	exact := decodeQuery(t, body)
+	truth := map[string]float64{}
+	for _, g := range exact.Groups {
+		truth[strings.Join(g.Key, "|")] = g.Values[0]
+	}
+
+	for _, tc := range []struct {
+		name string
+		resp QueryResponse
+	}{{"error_bound=0.01", tight}, {"error_bound=0.10", loose}} {
+		if tc.resp.Predicted == nil || tc.resp.Achieved == nil {
+			t.Fatalf("%s: predicted/achieved missing from response", tc.name)
+		}
+		var sum float64
+		var n int
+		for _, g := range tc.resp.Groups {
+			want, ok := truth[strings.Join(g.Key, "|")]
+			if !ok || want == 0 {
+				continue
+			}
+			sum += math.Abs(g.Values[0]-want) / want
+			n++
+		}
+		achieved := sum / float64(n)
+		// The acceptance contract: realized error within the returned
+		// predicted bound ×1.5 (the prediction is a confidence-level bound,
+		// so the realized mean should sit well inside it).
+		if limit := *tc.resp.Predicted * 1.5; achieved > limit {
+			t.Fatalf("%s: achieved error vs exact %.4f exceeds predicted %.4f x1.5",
+				tc.name, achieved, *tc.resp.Predicted)
+		}
+	}
+	if *tight.Predicted != 0 || *tight.Achieved != 0 {
+		t.Fatalf("0.01 bound should have escalated to an exact plan (predicted %g achieved %g)",
+			*tight.Predicted, *tight.Achieved)
+	}
+}
+
+// TestBoundedQueryUnsatisfiable pins an implausibly slow scan rate so no
+// plan can meet a millisecond time bound together with a near-zero error
+// bound; the server must answer 422 with the best achievable figures.
+func TestBoundedQueryUnsatisfiable(t *testing.T) {
+	srv := boundsServer(t, 1000)
+	resp, body := post(t, srv, "/v1/query", QueryRequest{
+		SQL: boundsSQL, ErrorBound: 1e-6, TimeBoundMS: 1,
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	er := decodeErr(t, body)
+	if er.Error.Code != CodeBoundUnsatisfiable {
+		t.Fatalf("code %q, want %q", er.Error.Code, CodeBoundUnsatisfiable)
+	}
+	if er.Error.BestErrorBound == nil || er.Error.BestTimeBoundMS == nil {
+		t.Fatalf("422 body missing best achievable bounds: %s", body)
+	}
+	// The exact plan (20000 rows at 1000 rows/s) is the only way to reach
+	// error 1e-6, so the best achievable time bound is ~20s.
+	if *er.Error.BestTimeBoundMS < 1000 {
+		t.Fatalf("best_time_bound_ms %d implausibly small", *er.Error.BestTimeBoundMS)
+	}
+}
+
+// TestBoundedQueryExplainTrace asserts every documented planner field
+// appears in a serving response: plan/predicted/achieved on the envelope and
+// the full candidate list in the explain trace.
+func TestBoundedQueryExplainTrace(t *testing.T) {
+	srv := boundsServer(t, 25e6)
+	resp, body := post(t, srv, "/v1/query", QueryRequest{
+		SQL: boundsSQL, ErrorBound: 0.10, Confidence: 0.99, Explain: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	for _, field := range []string{
+		`"plan"`, `"predicted"`, `"achieved"`, `"planner"`, `"candidates"`,
+		`"chosen"`, `"predicted_error"`, `"achieved_error"`, `"predicted_latency_micros"`,
+		`"feasible"`, `"confidence"`, `"error_bound"`, `"rewrite"`,
+	} {
+		if !strings.Contains(string(body), field) {
+			t.Errorf("explain response missing documented field %s", field)
+		}
+	}
+	qr := decodeQuery(t, body)
+	if qr.Trace == nil || qr.Trace.Planner == nil {
+		t.Fatal("explain trace missing planner decision")
+	}
+	if qr.Trace.Planner.Confidence != 0.99 {
+		t.Fatalf("trace confidence %g, want the requested 0.99", qr.Trace.Planner.Confidence)
+	}
+	if len(qr.Trace.Planner.Candidates) < 2 {
+		t.Fatalf("trace lists %d candidates", len(qr.Trace.Planner.Candidates))
+	}
+}
+
+// TestBoundsValidation covers the request-validation surface for the new
+// fields, and the timeout_ms <= 0 bugfix (previously an instantly-degraded
+// answer; now a 400).
+func TestBoundsValidation(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name string
+		path string
+		req  QueryRequest
+		want string
+	}{
+		{"zero timeout", "/v1/query", QueryRequest{SQL: testSQL, TimeoutMS: ms(0)}, "timeout_ms"},
+		{"negative timeout", "/v1/query", QueryRequest{SQL: testSQL, TimeoutMS: ms(-10)}, "timeout_ms"},
+		{"error_bound too large", "/v1/query", QueryRequest{SQL: testSQL, ErrorBound: 1}, "error_bound"},
+		{"error_bound negative", "/v1/query", QueryRequest{SQL: testSQL, ErrorBound: -0.1}, "error_bound"},
+		{"time_bound negative", "/v1/query", QueryRequest{SQL: testSQL, TimeBoundMS: -1}, "time_bound_ms"},
+		{"confidence out of range", "/v1/query", QueryRequest{SQL: testSQL, ErrorBound: 0.1, Confidence: 1.5}, "confidence"},
+		{"confidence without bounds", "/v1/query", QueryRequest{SQL: testSQL, Confidence: 0.9}, "confidence"},
+		{"bounds on exact", "/v1/exact", QueryRequest{SQL: testSQL, ErrorBound: 0.1}, "/query only"},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, srv, tc.path, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+		}
+		if er := decodeErr(t, body); !strings.Contains(er.Error.Message, tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, er.Error.Message, tc.want)
+		}
+	}
+}

@@ -18,6 +18,9 @@ import (
 
 const testSQL = "SELECT region, COUNT(*) FROM T GROUP BY region"
 
+// ms builds the pointer form timeout_ms takes in QueryRequest literals.
+func ms(v int64) *int64 { return &v }
+
 func robustServer(t *testing.T, sgCfg core.SmallGroupConfig, cfg Config) *httptest.Server {
 	t.Helper()
 	sys := testSystem(t, sgCfg)
@@ -56,7 +59,7 @@ func TestBadRequestErrorPaths(t *testing.T) {
 	}{
 		{"empty sql", QueryRequest{SQL: "   "}, "empty sql"},
 		{"unknown column", QueryRequest{SQL: "SELECT nope, COUNT(*) FROM T GROUP BY nope"}, "nope"},
-		{"negative timeout", QueryRequest{SQL: testSQL, TimeoutMS: -5}, "timeout_ms"},
+		{"negative timeout", QueryRequest{SQL: testSQL, TimeoutMS: ms(-5)}, "timeout_ms"},
 	}
 	for _, tc := range cases {
 		for _, path := range []string{"/query", "/exact"} {
@@ -82,7 +85,7 @@ func TestDeadlineExceededReturns504(t *testing.T) {
 	faults.Set(faults.PointScanShard, faults.SleepHook(stall))
 
 	start := time.Now()
-	resp, body := post(t, srv, "/query", QueryRequest{SQL: testSQL, TimeoutMS: 50})
+	resp, body := post(t, srv, "/query", QueryRequest{SQL: testSQL, TimeoutMS: ms(50)})
 	elapsed := time.Since(start)
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, body)
@@ -96,7 +99,7 @@ func TestDeadlineExceededReturns504(t *testing.T) {
 
 	// Same stalled backend on /exact: the base-table scan observes the
 	// deadline at shard boundaries too.
-	resp, body = post(t, srv, "/exact", QueryRequest{SQL: testSQL, TimeoutMS: 50})
+	resp, body = post(t, srv, "/exact", QueryRequest{SQL: testSQL, TimeoutMS: ms(50)})
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("/exact status %d, want 504 (%s)", resp.StatusCode, body)
 	}
@@ -208,7 +211,7 @@ func TestQueryDegradesUnderDeadline(t *testing.T) {
 	}
 
 	// With a deadline: overall sample only, degraded flag set, still 200.
-	resp, body = post(t, srv, "/query", QueryRequest{SQL: testSQL, Explain: true, TimeoutMS: 30000})
+	resp, body = post(t, srv, "/query", QueryRequest{SQL: testSQL, Explain: true, TimeoutMS: ms(30000)})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d (%s)", resp.StatusCode, body)
 	}

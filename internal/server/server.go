@@ -15,8 +15,21 @@
 //
 //	{"error": {"code": "...", "message": "...", "retry_after_ms": 1000}}
 //
-// with retry_after_ms present only on load-shedding 503s. Every response
+// with retry_after_ms present only on load-shedding 503s and the best
+// achievable bounds present only on bound_unsatisfiable 422s. Every response
 // echoes the request's X-Request-ID header (generating one when absent).
+// docs/API.md is the complete field-by-field reference for the surface.
+//
+// # Bounded queries
+//
+// POST /query accepts error_bound (maximum mean per-group relative error at
+// a confidence level) and/or time_bound_ms (maximum predicted execution
+// latency). The core planner enumerates candidate sample plans, predicts
+// each one's error and latency, and executes the cheapest plan satisfying
+// the bounds; the response reports the chosen plan plus predicted and
+// achieved error, and an explain trace lists every candidate. Bounds no plan
+// can satisfy fail fast with 422 and the best achievable figures. The
+// accuracy semantics of these fields are specified in docs/ACCURACY.md.
 //
 // # Concurrency
 //
@@ -164,16 +177,40 @@ func New(sys *core.System, cfg Config) *Server {
 // /debug/slowlog), so an operator CLI can mount it elsewhere.
 func (s *Server) SlowLog() *obs.SlowLog { return s.slowlog }
 
-// QueryRequest is the body of POST /query and POST /exact.
+// QueryRequest is the body of POST /query and POST /exact. See docs/API.md
+// for the full field reference.
 type QueryRequest struct {
 	SQL string `json:"sql"`
 	// Explain additionally returns the rewritten UNION ALL sample query and
 	// the full pipeline trace (per-stage timings, the selected sample set
-	// with per-table cost, sampling fraction, degradation).
+	// with per-table cost, sampling fraction, degradation, and — on bounded
+	// queries — the planner's candidate list).
 	Explain bool `json:"explain,omitempty"`
-	// TimeoutMS, when positive, overrides the server's default per-request
-	// deadline for this query. A missed deadline returns 504.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// TimeoutMS, when present, overrides the server's default per-request
+	// deadline for this query; it must be positive. A missed deadline
+	// returns 504.
+	TimeoutMS *int64 `json:"timeout_ms,omitempty"`
+	// ErrorBound, when set, asks the planner for the cheapest plan whose
+	// predicted mean per-group relative error (at the confidence level) is
+	// at most this value, in (0, 1). /query only. When no plan qualifies the
+	// request fails with 422 and the best achievable bound in the error
+	// body. See docs/ACCURACY.md for what the prediction guarantees.
+	ErrorBound float64 `json:"error_bound,omitempty"`
+	// TimeBoundMS, when set, bounds the plan's predicted execution latency
+	// in milliseconds; the planner picks the most accurate plan predicted to
+	// fit (the cheapest satisfying plan when error_bound is also set).
+	// /query only. Unlike timeout_ms it shapes the plan rather than
+	// cancelling the request.
+	TimeBoundMS int64 `json:"time_bound_ms,omitempty"`
+	// Confidence is the confidence level error_bound and the returned
+	// intervals are stated at, in (0, 1). Zero means the server's configured
+	// level (default 0.95). Requires error_bound or time_bound_ms.
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// bounded reports whether the request asks for planner bounds.
+func (q *QueryRequest) bounded() bool {
+	return q.ErrorBound != 0 || q.TimeBoundMS != 0 || q.Confidence != 0
 }
 
 // GroupJSON is one group of an answer.
@@ -199,6 +236,14 @@ type QueryResponse struct {
 	// Degraded is set when deadline pressure made the strategy fall back to
 	// the uniform overall sample instead of its full rewrite.
 	Degraded bool `json:"degraded,omitempty"`
+	// Plan names the planner-chosen sample plan; set on bounded queries.
+	Plan string `json:"plan,omitempty"`
+	// Predicted is the planner's predicted mean per-group relative error for
+	// the chosen plan; set on bounded queries.
+	Predicted *float64 `json:"predicted,omitempty"`
+	// Achieved is the realized error estimate, derived from the answer's
+	// confidence intervals; set on bounded queries.
+	Achieved *float64 `json:"achieved,omitempty"`
 	// Trace is the pipeline trace, returned when the request set
 	// "explain": true.
 	Trace *obs.TraceData `json:"trace,omitempty"`
@@ -211,6 +256,14 @@ type ErrorDetail struct {
 	Code         string `json:"code"`
 	Message      string `json:"message"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	// BestErrorBound, on bound_unsatisfiable errors, is the smallest
+	// error_bound any plan could have satisfied under the request's time
+	// bound — the value to retry with.
+	BestErrorBound *float64 `json:"best_error_bound,omitempty"`
+	// BestTimeBoundMS, on bound_unsatisfiable errors, is the smallest
+	// time_bound_ms any plan could have satisfied under the request's error
+	// bound.
+	BestTimeBoundMS *int64 `json:"best_time_bound_ms,omitempty"`
 }
 
 // ErrorResponse is the one JSON shape every non-2xx response carries:
@@ -221,12 +274,13 @@ type ErrorResponse struct {
 
 // Error codes used in ErrorDetail.Code.
 const (
-	CodeBadRequest       = "bad_request"
-	CodeNotFound         = "not_found"
-	CodeDeadlineExceeded = "deadline_exceeded"
-	CodeOverloaded       = "overloaded"
-	CodeInternal         = "internal"
-	CodeUnimplemented    = "unimplemented"
+	CodeBadRequest         = "bad_request"
+	CodeNotFound           = "not_found"
+	CodeDeadlineExceeded   = "deadline_exceeded"
+	CodeOverloaded         = "overloaded"
+	CodeInternal           = "internal"
+	CodeUnimplemented      = "unimplemented"
+	CodeBoundUnsatisfiable = "bound_unsatisfiable"
 )
 
 // Handler returns the HTTP routes — the /v1 surface plus the legacy
@@ -413,8 +467,20 @@ func (s *Server) compile(rt *reqTrack, w http.ResponseWriter, r *http.Request) (
 		return bad(fmt.Errorf("bad request body: %w", err))
 	}
 	rt.trace.SetSQL(req.SQL)
-	if req.TimeoutMS < 0 {
-		return bad(fmt.Errorf("invalid timeout_ms %d: must be >= 0", req.TimeoutMS))
+	if req.TimeoutMS != nil && *req.TimeoutMS <= 0 {
+		return bad(fmt.Errorf("invalid timeout_ms %d: must be > 0", *req.TimeoutMS))
+	}
+	if req.ErrorBound < 0 || req.ErrorBound >= 1 {
+		return bad(fmt.Errorf("invalid error_bound %g: must be in (0, 1)", req.ErrorBound))
+	}
+	if req.TimeBoundMS < 0 {
+		return bad(fmt.Errorf("invalid time_bound_ms %d: must be > 0", req.TimeBoundMS))
+	}
+	if req.Confidence < 0 || req.Confidence >= 1 {
+		return bad(fmt.Errorf("invalid confidence %g: must be in (0, 1)", req.Confidence))
+	}
+	if req.Confidence != 0 && req.ErrorBound == 0 && req.TimeBoundMS == 0 {
+		return bad(fmt.Errorf("confidence requires error_bound or time_bound_ms"))
 	}
 	if strings.TrimSpace(req.SQL) == "" {
 		return bad(fmt.Errorf("empty sql"))
@@ -435,8 +501,8 @@ func (s *Server) compile(rt *reqTrack, w http.ResponseWriter, r *http.Request) (
 // if given, else by the server default.
 func (s *Server) queryContext(r *http.Request, req *QueryRequest) (context.Context, context.CancelFunc) {
 	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	if req.TimeoutMS != nil {
+		timeout = time.Duration(*req.TimeoutMS) * time.Millisecond
 	}
 	if timeout > 0 {
 		return context.WithTimeout(r.Context(), timeout)
@@ -477,9 +543,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Read the generation before executing: the answer is then guaranteed to
 	// include at least every batch up to it.
 	gen := s.sys.DataGeneration()
-	ans, err := s.sys.ApproxCtx(obs.WithTrace(ctx, rt.trace), s.strategy, compiled.Query)
+	bounds := core.Bounds{
+		ErrorBound: req.ErrorBound,
+		TimeBound:  time.Duration(req.TimeBoundMS) * time.Millisecond,
+		Confidence: req.Confidence,
+	}
+	ans, err := s.sys.ApproxBoundsCtx(obs.WithTrace(ctx, rt.trace), s.strategy, compiled.Query, bounds)
 	if err != nil {
-		rt.status = writeExecErr(w, r, err)
+		var unsat *core.UnsatisfiableBoundsError
+		if errors.As(err, &unsat) {
+			rt.status = "unsatisfiable"
+			writeUnsatisfiable(w, unsat)
+		} else {
+			rt.status = writeExecErr(w, r, err)
+		}
 		rt.finish()
 		return
 	}
@@ -514,6 +591,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Groups = append(resp.Groups, gj)
 	}
+	if d := ans.Plan; d != nil {
+		resp.Plan = d.Chosen.Name
+		predicted, achieved := d.Chosen.PredictedError, d.AchievedError
+		resp.Predicted, resp.Achieved = &predicted, &achieved
+	}
 	endStage()
 	rt.status, rt.rowsRead = "ok", ans.RowsRead
 	trace := rt.finish()
@@ -526,11 +608,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// writeUnsatisfiable emits the 422 envelope for bounds no plan can satisfy,
+// carrying the best achievable figures so the client can retry realistically.
+func writeUnsatisfiable(w http.ResponseWriter, unsat *core.UnsatisfiableBoundsError) {
+	bestErr := unsat.BestError
+	bestMS := (unsat.BestLatency + time.Millisecond - 1) / time.Millisecond
+	bestMSv := int64(bestMS)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusUnprocessableEntity)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: ErrorDetail{
+		Code:            CodeBoundUnsatisfiable,
+		Message:         unsat.Error(),
+		BestErrorBound:  &bestErr,
+		BestTimeBoundMS: &bestMSv,
+	}})
+}
+
 func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 	rt := s.begin(r, "exact")
 	rt.trace.SetStrategy("exact")
 	compiled, req, ok := s.compile(rt, w, r)
 	if !ok {
+		rt.finish()
+		return
+	}
+	if req.bounded() {
+		rt.status = "bad_request"
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("error_bound/time_bound_ms/confidence apply to /query only; /exact always scans the base table"))
 		rt.finish()
 		return
 	}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fails on dead relative links in the repository's markdown files: every
+# [text](relative/path) must point at a file or directory that exists
+# (anchors are stripped; absolute URLs and mailto: are ignored). Run by
+# `make check` so documentation reorganisations cannot silently orphan
+# cross-references like README -> docs/API.md -> docs/ACCURACY.md.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+bad=0
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # Pull out every inline link target. Reference-style links and bare URLs
+  # are out of scope; this repo uses inline links throughout.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "doclinks: $md: dead link -> $target" >&2
+      bad=1
+    fi
+  done < <(grep -o '\[[^][]*\]([^()[:space:]]*)' "$md" | sed 's/.*(\(.*\))/\1/')
+done < <(git ls-files -co --exclude-standard '*.md')
+
+if [ "$bad" -ne 0 ]; then
+  echo "doclinks: FAIL" >&2
+  exit 1
+fi
+echo "doclinks: OK"

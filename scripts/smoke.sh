@@ -19,7 +19,10 @@ go build -o /tmp/aqpd-smoke ./cmd/aqpd
 go build -o /tmp/aqpcli-smoke ./cmd/aqpcli
 
 start_server() {
-  /tmp/aqpd-smoke -db sales -rows 50000 -rate 0.02 -addr "$ADDR" -wal-dir "$WALDIR" &
+  # -scan-rate pins the planner's latency model so the bounded-query
+  # scenario below is deterministic across machines.
+  /tmp/aqpd-smoke -db sales -rows 50000 -rate 0.02 -addr "$ADDR" -wal-dir "$WALDIR" \
+    -scan-rate 25000000 &
   PID=$!
 }
 start_server
@@ -52,6 +55,23 @@ curl -fsS "$BASE/query" -d "{\"sql\":\"$SQL\"}" | grep -q '"groups"' \
 echo "smoke: error envelope..."
 curl -sS "$BASE/v1/query" -d '{"sql":"NOT SQL"}' | grep -q '"error":{"code":"bad_request"' \
   || fail "400 does not carry the error envelope"
+
+echo "smoke: bounded queries..."
+# A loose error bound is met by a sample plan; a tight one forces the
+# planner to escalate to the exact fallback; an impossible combination
+# (near-zero error within 1ms at the pinned scan rate) must 422 with the
+# best achievable bounds rather than answer out of bound.
+RESP=$(curl -fsS "$BASE/v1/query" -d "{\"sql\":\"$SQL\",\"error_bound\":0.5}")
+echo "$RESP" | grep -q '"plan":'            || fail "bounded answer has no plan: $RESP"
+echo "$RESP" | grep -q '"plan":"exact"'     && fail "loose bound escalated to exact: $RESP"
+echo "$RESP" | grep -q '"predicted":'       || fail "bounded answer has no predicted error: $RESP"
+RESP=$(curl -fsS "$BASE/v1/query" -d "{\"sql\":\"$SQL\",\"error_bound\":0.0001}")
+echo "$RESP" | grep -q '"plan":"exact"'     || fail "tight bound did not escalate to exact: $RESP"
+RESP=$(curl -sS "$BASE/v1/query" -d "{\"sql\":\"$SQL\",\"error_bound\":0.000001,\"time_bound_ms\":1}")
+echo "$RESP" | grep -q '"code":"bound_unsatisfiable"' || fail "impossible bound not rejected: $RESP"
+echo "$RESP" | grep -q '"best_error_bound":'          || fail "422 lacks best achievable bound: $RESP"
+curl -sS "$BASE/v1/query" -d "{\"sql\":\"$SQL\",\"timeout_ms\":0}" \
+  | grep -q '"code":"bad_request"' || fail "timeout_ms 0 not rejected"
 
 echo "smoke: scraping /metrics..."
 METRICS=$(curl -fsS "$BASE/metrics")
