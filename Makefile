@@ -27,14 +27,16 @@ test:
 # overload / drain / panic-recovery scenarios, the concurrent-query stress
 # test, the crash/corruption recovery suite (snapshot truncation and
 # bit-flip detection, catalog generation fallback, zero-downtime rebuild
-# swaps), and the ingestion suite (torn-WAL crash recovery, fsync failure,
-# backpressure, drift-triggered rebuild, ingest+query+rebuild stress), all
-# under the race detector.
+# swaps), the ingestion suite (torn-WAL crash recovery, fsync failure,
+# backpressure, drift-triggered rebuild, checkpoint GC, degraded mode,
+# ingest+query+rebuild stress), and the crash-point simulator (a crash or
+# I/O error at every hook point of ingest → rebuild → checkpoint → GC →
+# restart), all under the race detector.
 faults:
-	$(GO) test -race -timeout 120s ./internal/faults ./internal/catalog
+	$(GO) test -race -timeout 120s ./internal/faults ./internal/faults/crashsim ./internal/catalog
 	$(GO) test -race -timeout 180s ./internal/ingest
 	$(GO) test -race -timeout 180s \
-		-run 'Ctx|Cancel|Deadline|Degrade|Overload|Drain|Panic|Stuck|Robust|BadRequest|Malformed|Stress|WriteJSON|ExactParity|Snapshot|Catalog|Recovery|Rebuild|Swap|Healthz|Readyz|HostileLength|Ingest|WAL' \
+		-run 'Ctx|Cancel|Deadline|Degrade|Overload|Drain|Panic|Stuck|Robust|BadRequest|Malformed|Stress|WriteJSON|ExactParity|Snapshot|Catalog|Recovery|Rebuild|Swap|Healthz|Readyz|HostileLength|Ingest|WAL|Checkpoint' \
 		./internal/parallel ./internal/engine ./internal/core ./internal/server
 
 # End-to-end smoke test: boot aqpd, run an explain query over /v1, scrape

@@ -116,7 +116,11 @@ func main() {
 	// catalog's newest verifying generation; otherwise pre-process from
 	// scratch (and, with a catalog, persist the fresh build as generation 1 —
 	// a catalog whose snapshots all fail verification self-heals this way).
+	// Catalog snapshots may be checkpointed (they carry the ingested-row
+	// delta, the idempotency window, and the WAL position they cover) or
+	// legacy bare sample sets; DecodeSnapshot handles both.
 	var gen uint64
+	var snap *ingest.Snapshot
 	source := "preprocess"
 	switch {
 	case *restore != "":
@@ -136,23 +140,40 @@ func main() {
 		source = "snapshot"
 		fmt.Fprintf(os.Stderr, "restored sample set from %s\n", *restore)
 	case cat != nil:
-		var p core.Prepared
 		res, err := cat.LoadLatest(func(r io.Reader) error {
-			var derr error
-			p, derr = core.LoadSmallGroup(r)
-			return derr
+			s, derr := ingest.DecodeSnapshot(r)
+			if derr != nil {
+				return derr
+			}
+			// A checkpointed delta splices onto the regenerated base at a
+			// fixed row offset; a different base (changed -rows/-db/-seed)
+			// makes this generation unusable, so fail the decode and let
+			// LoadLatest fall back to an older one.
+			if s.Checkpoint != nil && s.Checkpoint.BaseRows != uint64(db.NumRows()) {
+				return fmt.Errorf("checkpoint covers %d base rows but the regenerated base has %d (changed -rows, -db, or -seed?)",
+					s.Checkpoint.BaseRows, db.NumRows())
+			}
+			snap = s
+			return nil
 		})
 		for _, sk := range res.Skipped {
 			fmt.Fprintf(os.Stderr, "aqpd: skipping catalog generation %d: %v\n", sk.Generation, sk.Err)
 		}
 		switch {
 		case err == nil:
-			if wc, ok := p.(core.WorkerConfigurable); ok {
+			if wc, ok := snap.Prepared.(core.WorkerConfigurable); ok {
 				wc.SetWorkers(*workers)
 			}
-			sys.AddPrepared("smallgroup", p)
+			if err := snap.Restore(sys, "smallgroup"); err != nil {
+				fatal(err)
+			}
 			gen, source = res.Generation, "snapshot"
-			fmt.Fprintf(os.Stderr, "recovered sample generation %d from %s\n", res.Generation, *catalogDir)
+			if ck := snap.Checkpoint; ck != nil {
+				fmt.Fprintf(os.Stderr, "recovered sample generation %d from %s (checkpoint: %d ingest batches, wal position %d/%d)\n",
+					res.Generation, *catalogDir, ck.DataGen, ck.Seg, ck.Off)
+			} else {
+				fmt.Fprintf(os.Stderr, "recovered sample generation %d from %s\n", res.Generation, *catalogDir)
+			}
 		case errors.Is(err, catalog.ErrNoSnapshot):
 			fmt.Fprintf(os.Stderr, "no usable snapshot in %s; pre-processing from scratch...\n", *catalogDir)
 			preprocess(sys, strategy)
@@ -184,6 +205,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		baseRows := 0
+		if snap != nil && snap.Checkpoint != nil {
+			baseRows = int(snap.Checkpoint.BaseRows)
+			// Finish any segment GC a crash interrupted: everything below the
+			// restored checkpoint's position is fully covered by the snapshot.
+			if removed, err := w.RemoveSegmentsBelow(snap.Checkpoint.Seg); err != nil {
+				fmt.Fprintf(os.Stderr, "aqpd: warning: wal segment gc: %v\n", err)
+			} else if removed > 0 {
+				fmt.Fprintf(os.Stderr, "aqpd: removed %d checkpoint-covered wal segments\n", removed)
+			}
+		}
 		coord, err = ingest.New(sys, w, ingest.Config{
 			Online: core.OnlineConfig{
 				Seed:               *seed,
@@ -191,22 +223,26 @@ func main() {
 			},
 			MaxPending: *maxPending,
 			DriftBound: *driftBound,
+			BaseRows:   baseRows,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		batches, torn, err := coord.ReplayWAL()
+		if snap != nil && len(snap.IDs) > 0 {
+			coord.SeedIdempotency(snap.IDs)
+		}
+		rs, err := coord.ReplayWAL()
 		if err != nil {
 			fatal(fmt.Errorf("wal replay: %w", err))
 		}
 		// OpenWAL truncates a torn tail before Replay sees the segment, so
-		// the crash signature usually surfaces via w.Torn(), not torn.
-		if torn || w.Torn() {
+		// the crash signature usually surfaces via w.Torn(), not rs.Torn.
+		if rs.Torn || w.Torn() {
 			fmt.Fprintf(os.Stderr, "aqpd: wal had a torn tail (crash mid-append); it was discarded\n")
 		}
-		if batches > 0 {
-			fmt.Fprintf(os.Stderr, "aqpd: replayed %d ingest batches from %s (generation %d)\n",
-				batches, *walDir, coord.Generation())
+		if rs.Batches > 0 || rs.Covered > 0 {
+			fmt.Fprintf(os.Stderr, "aqpd: replayed %d ingest batches from %s in %v (%d segments, %d bytes scanned, %d checkpoint-covered batches skipped; generation %d)\n",
+				rs.Batches, *walDir, rs.Elapsed.Round(time.Millisecond), rs.Segments, rs.Bytes, rs.Covered, coord.Generation())
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynsample/internal/faults"
 	"dynsample/internal/obs"
 )
 
@@ -61,6 +63,13 @@ type Catalog struct {
 
 	mu  sync.Mutex    // serialises Save (and manifest/prune bookkeeping)
 	gen atomic.Uint64 // newest committed generation, 0 = none
+
+	// ckpts carries each retained generation's checkpoint info into manifest
+	// rewrites. Seeded from the existing manifest at Open (best-effort — the
+	// manifest is advisory) and updated by SaveWithCheckpoint. Guarded by mu.
+	ckpts map[uint64]*CheckpointInfo
+
+	pruneLogged bool // one log line per process for failing prunes
 }
 
 // Manifest is the advisory metadata Save maintains next to the snapshots.
@@ -79,6 +88,21 @@ type ManifestEntry struct {
 	File       string    `json:"file"`
 	Bytes      int64     `json:"bytes"`
 	SavedAt    time.Time `json:"savedAt"`
+	// Checkpoint is the WAL position the snapshot covers, when the saver
+	// recorded one (SaveWithCheckpoint). Advisory, like the rest of the
+	// manifest: recovery reads the authoritative copy embedded in the
+	// snapshot itself.
+	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
+}
+
+// CheckpointInfo is the WAL position a snapshot generation covers: everything
+// at or before (WALSegment, WALOffset) — equivalently, the first
+// DataGeneration ingest batches — is reflected in the snapshot, so WAL
+// segments strictly below WALSegment are deletable once the save commits.
+type CheckpointInfo struct {
+	DataGeneration uint64 `json:"dataGeneration"`
+	WALSegment     uint64 `json:"walSegment"`
+	WALOffset      int64  `json:"walOffset"`
 }
 
 // Open creates (if needed) and scans a catalog directory, resuming the
@@ -107,6 +131,14 @@ func Open(dir string, opts Options) (*Catalog, error) {
 		}
 	}
 	c.gen.Store(newest)
+	c.ckpts = make(map[uint64]*CheckpointInfo)
+	if m, err := c.ReadManifest(); err == nil {
+		for _, e := range m.Generations {
+			if e.Checkpoint != nil {
+				c.ckpts[e.Generation] = e.Checkpoint
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -144,6 +176,13 @@ func (c *Catalog) Generations() []uint64 {
 // generations beyond the retention limit. On failure the catalog is
 // unchanged — the previous generation remains current and loadable.
 func (c *Catalog) Save(payload func(io.Writer) error) (uint64, error) {
+	return c.SaveWithCheckpoint(payload, nil)
+}
+
+// SaveWithCheckpoint is Save, additionally recording the WAL position the
+// snapshot covers in the manifest entry for the new generation. ck may be
+// nil (plain Save).
+func (c *Catalog) SaveWithCheckpoint(payload func(io.Writer) error, ck *CheckpointInfo) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	next := c.gen.Load() + 1
@@ -157,6 +196,9 @@ func (c *Catalog) Save(payload func(io.Writer) error) (uint64, error) {
 	}
 	obsSaves.With("ok").Inc()
 	c.gen.Store(next)
+	if ck != nil {
+		c.ckpts[next] = ck
+	}
 	c.prune()
 	if merr := c.writeManifest(); merr != nil {
 		// The snapshot itself is durable; a stale manifest only degrades
@@ -217,23 +259,39 @@ func readSnapshotFile(path string, decode func(io.Reader) error) error {
 }
 
 // prune removes generations beyond the retention limit (newest first is
-// kept). Called with mu held after a successful save.
+// kept). Called with mu held after a successful save. A failed removal is
+// counted in the snapshot error metric and logged once per process: the
+// orphaned generation is harmless for correctness (recovery verifies
+// checksums) but eats disk until an operator notices.
 func (c *Catalog) prune() {
 	if c.retain < 0 {
 		return
 	}
 	gens := c.Generations()
 	for _, g := range gens[min(c.retain, len(gens)):] {
-		os.Remove(c.Path(g))
+		if err := os.Remove(c.Path(g)); err != nil {
+			obsSaves.With("prune_error").Inc()
+			if !c.pruneLogged {
+				c.pruneLogged = true
+				log.Printf("catalog: pruning generation %d failed (orphaned snapshot will use disk until removed): %v", g, err)
+			}
+			continue
+		}
+		delete(c.ckpts, g)
 	}
 }
 
 // writeManifest rewrites MANIFEST (atomically) to describe the retained
-// generations. Called with mu held.
+// generations. Called with mu held. Fault point: PointManifestWrite (ErrHook)
+// simulates a crash in the gap between a committed save and the manifest
+// update — the snapshot must still be recovered without it.
 func (c *Catalog) writeManifest() error {
+	if err := faults.FireErr(faults.PointManifestWrite, 0); err != nil {
+		return err
+	}
 	m := Manifest{Current: c.gen.Load(), UpdatedAt: time.Now().UTC()}
 	for _, g := range c.Generations() {
-		e := ManifestEntry{Generation: g, File: filepath.Base(c.Path(g))}
+		e := ManifestEntry{Generation: g, File: filepath.Base(c.Path(g)), Checkpoint: c.ckpts[g]}
 		if fi, err := os.Stat(c.Path(g)); err == nil {
 			e.Bytes = fi.Size()
 			e.SavedAt = fi.ModTime().UTC()

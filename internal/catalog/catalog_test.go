@@ -299,3 +299,141 @@ func assertNoTempFiles(t *testing.T, dir string) {
 		}
 	}
 }
+
+// TestCatalogManifestFailureRecoversAndSelfHeals: Save's contract when the
+// snapshot committed but the manifest update failed is "generation N saved
+// but manifest update failed" with the new generation number. The manifest is
+// advisory, so (a) a restart must still recover the new generation by
+// scanning the directory, and (b) the next successful save must rewrite the
+// manifest to include it.
+func TestCatalogManifestFailureRecoversAndSelfHeals(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	save(t, c, "p1")
+
+	boom := errors.New("injected manifest write failure")
+	faults.SetErr(faults.PointManifestWrite, faults.FailNth(0, boom))
+	gen, err := c.SaveWithCheckpoint(func(w io.Writer) error {
+		_, werr := io.WriteString(w, "p2")
+		return werr
+	}, &CheckpointInfo{DataGeneration: 7, WALSegment: 3, WALOffset: 99})
+	if gen != 2 || !errors.Is(err, boom) {
+		t.Fatalf("SaveWithCheckpoint = (%d, %v), want generation 2 and the injected failure", gen, err)
+	}
+	faults.Reset()
+	if m, merr := c.ReadManifest(); merr == nil && m.Current != 1 {
+		t.Fatalf("manifest current = %d after a failed manifest write, want 1", m.Current)
+	}
+
+	// Restart: recovery scans the directory, not the stale manifest — the
+	// generation whose manifest update was lost must still be found.
+	c2, err := Open(c.Dir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := load(t, c2)
+	if err != nil || got != "p2" || res.Generation != 2 {
+		t.Fatalf("recovery after lost manifest update: %q gen %d err %v, want p2 gen 2", got, res.Generation, err)
+	}
+
+	// Self-heal: the next successful save rewrites the manifest with every
+	// retained generation, including the one whose update was lost.
+	save(t, c2, "p3")
+	m, err := c2.ReadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Current != 3 {
+		t.Fatalf("manifest current = %d after self-heal, want 3", m.Current)
+	}
+	seen := false
+	for _, e := range m.Generations {
+		if e.Generation == 2 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("self-healed manifest omits generation 2: %+v", m.Generations)
+	}
+}
+
+// TestCatalogManifestCarriesCheckpoint: SaveWithCheckpoint records the WAL
+// position in the manifest entry, and a reopened catalog keeps advertising it
+// on subsequent manifest rewrites.
+func TestCatalogManifestCarriesCheckpoint(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CheckpointInfo{DataGeneration: 12, WALSegment: 4, WALOffset: 4096}
+	gen, err := c.SaveWithCheckpoint(func(w io.Writer) error {
+		_, werr := io.WriteString(w, "ck")
+		return werr
+	}, &want)
+	if err != nil || gen != 1 {
+		t.Fatalf("SaveWithCheckpoint = (%d, %v)", gen, err)
+	}
+	checkEntry := func(m Manifest) {
+		t.Helper()
+		for _, e := range m.Generations {
+			if e.Generation == 1 {
+				if e.Checkpoint == nil || *e.Checkpoint != want {
+					t.Fatalf("generation 1 checkpoint = %+v, want %+v", e.Checkpoint, want)
+				}
+				return
+			}
+		}
+		t.Fatalf("generation 1 missing from manifest: %+v", m.Generations)
+	}
+	m, err := c.ReadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEntry(m)
+
+	// Reopen seeds checkpoint info from the manifest, so a later save still
+	// advertises generation 1's position.
+	c2, err := Open(c.Dir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	save(t, c2, "plain")
+	m, err = c2.ReadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEntry(m)
+}
+
+// TestCatalogPruneFailureDoesNotFailSave: retention pruning is best-effort —
+// an un-removable old snapshot must not fail the save that triggered it, and
+// the orphan must not confuse later recovery.
+func TestCatalogPruneFailureDoesNotFailSave(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{Retain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	save(t, c, "p1")
+	// Make generation 1 un-removable with plain os.Remove: swap the snapshot
+	// file for a non-empty directory.
+	p1 := c.Path(1)
+	if err := os.Remove(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(p1, "pin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if gen := save(t, c, "p2"); gen != 2 { // save() fails the test on error
+		t.Fatalf("save returned generation %d, want 2", gen)
+	}
+	if _, err := os.Stat(p1); err != nil {
+		t.Fatalf("orphaned generation unexpectedly gone: %v", err)
+	}
+	got, res, err := load(t, c)
+	if err != nil || got != "p2" || res.Generation != 2 {
+		t.Fatalf("load after failed prune: %q gen %d err %v", got, res.Generation, err)
+	}
+}

@@ -48,7 +48,16 @@ type Online struct {
 
 	app *engine.Appender
 	p   *smallGroupPrepared
-	rng *rand.Rand
+
+	// seed is the configured reservoir seed; rng is re-derived from it (and
+	// the batch sequence number) at the start of every applied batch, so the
+	// draws for batch k depend only on (seed, k, seen-before-batch, cap) —
+	// never on how many earlier batches this process replayed. That makes
+	// Apply idempotent across a checkpoint: a restart that recovers batches
+	// 1..k from a snapshot (without replaying them) still burns exactly the
+	// draws for batch k+1 that an uninterrupted run would.
+	seed int64
+	rng  *rand.Rand
 
 	// Reservoir continuation state for the overall sample.
 	cap  int   // reservoir capacity = overall sample rows (fixed until rebuild)
@@ -90,8 +99,11 @@ type OnlineConfig struct {
 	// to the prepared state's configured fraction; states restored from disk
 	// do not carry it, so the caller must supply it then.
 	SmallGroupFraction float64
-	// Seed drives the continued reservoir. Replaying the same batch sequence
-	// with the same seed reproduces the sample family bit-identically.
+	// Seed drives the continued reservoir. Each batch's draws are derived
+	// from (Seed, batch sequence), so replaying any suffix of the batch
+	// sequence with the same seed — a full replay from birth or a
+	// checkpointed replay of the tail — reproduces the sample family
+	// bit-identically.
 	Seed int64
 	// MaxTrackedPerColumn caps each column's rare-value frequency map. When
 	// a column exceeds it (a flood of brand-new distinct values), tracking
@@ -189,6 +201,7 @@ func NewOnline(sys *System, strategy string, cfg OnlineConfig) (*Online, error) 
 		strategy:   strategy,
 		app:        app,
 		p:          sgp,
+		seed:       cfg.Seed,
 		rng:        randx.New(cfg.Seed),
 		cap:        otbl.NumRows(),
 		seen:       int64(db.NumRows()),
@@ -423,6 +436,7 @@ func (o *Online) Apply(seq uint64, rows [][]engine.Value) (BatchStats, error) {
 		return st, err
 	}
 
+	o.rng = randx.New(batchSeed(o.seed, seq))
 	masks, perTable, victims := o.classify(rows)
 
 	np := *o.p
@@ -446,6 +460,21 @@ func (o *Online) Apply(seq uint64, rows [][]engine.Value) (BatchStats, error) {
 	st.Drift = o.Drift()
 	st.DataGeneration = o.gen
 	return st, nil
+}
+
+// batchSeed derives the per-batch reservoir seed from the configured seed
+// and the batch sequence number (a splitmix64 finalizer over a golden-ratio
+// stride, so consecutive sequences land on uncorrelated streams). It is part
+// of the WAL's durability contract: changing it changes which rows the
+// reservoir keeps when a checkpointed restart replays a log tail.
+func batchSeed(seed int64, seq uint64) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*seq
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
 }
 
 // reservoirHit records one accepted reservoir replacement: batch row ri
@@ -617,6 +646,7 @@ func (o *Online) Rebase(p Prepared, rebuiltAt uint64, tail []TailBatch) error {
 			restore()
 			return fmt.Errorf("core: rebase tail batch %d beyond data generation %d", b.Seq, o.gen)
 		}
+		o.rng = randx.New(batchSeed(o.seed, b.Seq))
 		masks, perTable, victims := o.classifyForRebase(b.Rows)
 		var st BatchStats
 		o.applySampleUpdates(&np, b.Rows, masks, perTable, victims, &st)

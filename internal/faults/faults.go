@@ -68,6 +68,24 @@ const (
 	// payload) just before it is written; a DataHook may flip bits to plant
 	// corruption the replay checksums must catch.
 	PointWALRecord Point = "ingest.wal-record"
+
+	// Lifecycle fault points for the checkpointed WAL: each one sits in the
+	// gap between two durability steps, so an injected error (followed by a
+	// simulated restart) exercises exactly the interleaving a real crash
+	// could produce there.
+
+	// PointIngestApply fires after a batch is durable in the WAL but before
+	// it is applied in memory; an injected error leaves the log and memory
+	// divergent (the coordinator must poison itself until replay).
+	PointIngestApply Point = "ingest.apply"
+	// PointManifestWrite fires before the catalog rewrites its advisory
+	// MANIFEST after a successful snapshot save; an injected error simulates
+	// a crash between the save and the manifest update.
+	PointManifestWrite Point = "catalog.manifest-write"
+	// PointWALGC fires before each fully-checkpointed WAL segment is
+	// deleted; an injected error aborts the garbage collection mid-way,
+	// simulating a crash between the checkpoint and the segment deletions.
+	PointWALGC Point = "ingest.wal-gc"
 )
 
 // Hook is an injected fault. ctx is the execution context of the hook site

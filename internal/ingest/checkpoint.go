@@ -1,0 +1,288 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+)
+
+// A checkpointed snapshot ties a saved sample family to the WAL position it
+// covers, which is what lets the WAL be garbage-collected and restart replay
+// be bounded. The container is:
+//
+//	[magic "DSCP0001"]
+//	[dataGen u64][baseRows u64][walSeg u64][walOff u64]
+//	[nIDs u32] then per id (oldest first):
+//	    [idlen u16][id][rows u32][swaps u32][sgInserts u32][drift f64][gen u64]
+//	[hasDelta u8] [engine table binary, if 1]
+//	[core.SaveSmallGroup stream]
+//
+// The delta table holds the ingested rows past baseRows in view column
+// order: snapshots persist samples, not base data, and the base data is
+// regenerated at startup — so once the covering WAL segments are deleted the
+// snapshot itself must carry the ingested rows, or they would exist nowhere.
+// The idempotency entries let a restart keep answering duplicate batch ids
+// whose WAL records were garbage-collected.
+//
+// Legacy snapshots (a bare SaveSmallGroup stream, magic "DSSG") still decode:
+// DecodeSnapshot sniffs the magic and returns them with a nil Checkpoint,
+// which recovery treats as "covers nothing — replay the whole WAL".
+const (
+	ckMagic = "DSCP0001"
+
+	// maxCheckpointIDs caps the persisted idempotency window; the in-memory
+	// window default is 4096, so this is generous headroom, not a limit a
+	// healthy system approaches.
+	maxCheckpointIDs = 1 << 20
+)
+
+// Checkpoint is the WAL position a snapshot covers: the first DataGen ingest
+// batches, physically everything before (Seg, Off). Segments with index
+// below Seg hold only covered records and are deletable.
+type Checkpoint struct {
+	DataGen  uint64
+	BaseRows uint64
+	Seg      uint64
+	Off      int64
+}
+
+// IdentEntry is one persisted idempotency-window entry: a client batch id
+// and the stats its original ingest returned (replayed to duplicates).
+type IdentEntry struct {
+	ID    string
+	Stats core.BatchStats
+}
+
+// Snapshot is a decoded catalog snapshot in either format.
+type Snapshot struct {
+	// Checkpoint is nil for legacy (pre-checkpoint) snapshots.
+	Checkpoint *Checkpoint
+	// Prepared is the sample family (always present).
+	Prepared core.Prepared
+	// Delta holds ingested rows past Checkpoint.BaseRows, or nil if the
+	// checkpoint covered no ingest.
+	Delta *engine.Table
+	// IDs is the persisted idempotency window, oldest first.
+	IDs []IdentEntry
+}
+
+// WriteCheckpoint serialises a checkpointed snapshot. delta may be nil when
+// no rows were ingested since the base data was generated.
+func WriteCheckpoint(w io.Writer, p core.Prepared, ck Checkpoint, delta *engine.Table, ids []IdentEntry) error {
+	if len(ids) > maxCheckpointIDs {
+		// Persist the newest entries; dropping the oldest only narrows the
+		// duplicate-detection window, it cannot corrupt state.
+		ids = ids[len(ids)-maxCheckpointIDs:]
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(ckMagic)
+	var b8 [8]byte
+	putCkU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		bw.Write(b8[:])
+	}
+	putCkU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b8[:4], v)
+		bw.Write(b8[:4])
+	}
+	putCkU64(ck.DataGen)
+	putCkU64(ck.BaseRows)
+	putCkU64(ck.Seg)
+	putCkU64(uint64(ck.Off))
+	putCkU32(uint32(len(ids)))
+	for _, e := range ids {
+		if len(e.ID) > maxBatchID {
+			return fmt.Errorf("ingest: checkpoint id is %d bytes, max %d", len(e.ID), maxBatchID)
+		}
+		binary.LittleEndian.PutUint16(b8[:2], uint16(len(e.ID)))
+		bw.Write(b8[:2])
+		bw.WriteString(e.ID)
+		putCkU32(uint32(e.Stats.Rows))
+		putCkU32(uint32(e.Stats.ReservoirSwaps))
+		putCkU32(uint32(e.Stats.SmallGroupInserts))
+		putCkU64(math.Float64bits(e.Stats.Drift))
+		putCkU64(e.Stats.DataGeneration)
+	}
+	if delta == nil {
+		bw.WriteByte(0)
+	} else {
+		bw.WriteByte(1)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if delta != nil {
+		if err := engine.WriteBinary(delta, w); err != nil {
+			return fmt.Errorf("ingest: writing checkpoint delta: %w", err)
+		}
+	}
+	return core.SaveSmallGroup(w, p)
+}
+
+// DecodeSnapshot reads a snapshot in either format, sniffing the magic. A
+// legacy SaveSmallGroup stream decodes to a Snapshot with a nil Checkpoint.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: reading snapshot header: %w", err)
+	}
+	if string(head) != "DSCP" {
+		p, err := core.LoadSmallGroupAny(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{Prepared: p}, nil
+	}
+	magic := make([]byte, len(ckMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("ingest: reading checkpoint header: %w", err)
+	}
+	if string(magic) != ckMagic {
+		return nil, fmt.Errorf("ingest: unsupported checkpoint version %q", magic)
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	ck := &Checkpoint{}
+	if ck.DataGen, err = readU64(); err != nil {
+		return nil, err
+	}
+	if ck.BaseRows, err = readU64(); err != nil {
+		return nil, err
+	}
+	if ck.Seg, err = readU64(); err != nil {
+		return nil, err
+	}
+	off, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	ck.Off = int64(off)
+	nIDs, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nIDs > maxCheckpointIDs {
+		return nil, fmt.Errorf("ingest: checkpoint id count %d exceeds %d", nIDs, maxCheckpointIDs)
+	}
+	s := &Snapshot{Checkpoint: ck}
+	for i := uint32(0); i < nIDs; i++ {
+		var b2 [2]byte
+		if _, err := io.ReadFull(br, b2[:]); err != nil {
+			return nil, err
+		}
+		idLen := binary.LittleEndian.Uint16(b2[:])
+		if int(idLen) > maxBatchID {
+			return nil, fmt.Errorf("ingest: checkpoint id length %d exceeds %d", idLen, maxBatchID)
+		}
+		idb := make([]byte, idLen)
+		if _, err := io.ReadFull(br, idb); err != nil {
+			return nil, err
+		}
+		var e IdentEntry
+		e.ID = string(idb)
+		rows, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		swaps, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		sg, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		driftBits, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		gen, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		e.Stats = core.BatchStats{
+			Rows:              int(rows),
+			ReservoirSwaps:    int(swaps),
+			SmallGroupInserts: int(sg),
+			Drift:             math.Float64frombits(driftBits),
+			DataGeneration:    gen,
+		}
+		s.IDs = append(s.IDs, e)
+	}
+	hasDelta, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch hasDelta {
+	case 0:
+	case 1:
+		if s.Delta, err = engine.ReadBinary(br); err != nil {
+			return nil, fmt.Errorf("ingest: reading checkpoint delta: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("ingest: bad checkpoint delta flag %d", hasDelta)
+	}
+	if s.Prepared, err = core.LoadSmallGroup(br); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Restore installs a checkpointed snapshot into the system: it re-appends
+// the delta rows onto the regenerated base data, publishes the resulting
+// database at the checkpoint's data generation, and registers the prepared
+// sample family under strategy. The caller (startup recovery) must verify
+// sys currently holds exactly Checkpoint.BaseRows base rows — the delta was
+// cut past that point, so a different base would splice it at the wrong
+// offset. Legacy snapshots (nil Checkpoint) only register the Prepared.
+func (s *Snapshot) Restore(sys *core.System, strategy string) error {
+	ck := s.Checkpoint
+	if ck == nil {
+		sys.AddPrepared(strategy, s.Prepared)
+		return nil
+	}
+	if got := sys.DB().NumRows(); uint64(got) != ck.BaseRows {
+		return fmt.Errorf("ingest: checkpoint was cut over %d base rows but the regenerated base has %d (changed -rows?); discard the snapshot or regenerate the original base",
+			ck.BaseRows, got)
+	}
+	if s.Delta != nil && s.Delta.NumRows() > 0 {
+		app, err := engine.NewAppender(sys.DB())
+		if err != nil {
+			return fmt.Errorf("ingest: restoring checkpoint delta: %w", err)
+		}
+		rows := make([][]engine.Value, s.Delta.NumRows())
+		for i := range rows {
+			rows[i] = s.Delta.RowValues(i)
+		}
+		if err := app.Validate(rows); err != nil {
+			return fmt.Errorf("ingest: restoring checkpoint delta: %w", err)
+		}
+		ndb, err := app.Append(rows)
+		if err != nil {
+			return fmt.Errorf("ingest: restoring checkpoint delta: %w", err)
+		}
+		sys.SwapData(ndb, ck.DataGen)
+	} else {
+		sys.SwapData(sys.DB(), ck.DataGen)
+	}
+	sys.AddPrepared(strategy, s.Prepared)
+	return nil
+}

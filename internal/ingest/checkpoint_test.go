@@ -1,0 +1,424 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynsample/internal/catalog"
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+	"dynsample/internal/faults"
+	"dynsample/internal/randx"
+)
+
+// ckSegBytes keeps segments tiny so a handful of batches spans several
+// segments and checkpoint GC has something real to delete.
+const ckSegBytes = 2048
+
+// newCheckpointSystem is newIngestSystem with a small-segment WAL.
+func newCheckpointSystem(t testing.TB, n int, dir string, cfg Config) (*core.System, *Coordinator, *WAL) {
+	t.Helper()
+	sys := core.NewSystem(ingestDB(t, n))
+	if err := sys.AddStrategy(core.NewSmallGroup(ingestSGCfg)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWALWith(dir, WALOptions{SegmentBytes: ckSegBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	c, err := New(sys, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, c, w
+}
+
+// rebuildNow runs the full rebuild handshake synchronously, as the server's
+// background rebuild would: pin, preprocess outside the lock, publish.
+func rebuildNow(t testing.TB, c *Coordinator) {
+	t.Helper()
+	db, pinned, err := c.BeginRebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewSmallGroup(ingestSGCfg).Preprocess(db)
+	if err != nil {
+		c.AbortRebuild()
+		t.Fatal(err)
+	}
+	if err := c.CompleteRebuild(p, pinned); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// walSegIndexes lists the WAL segment indexes present in dir, ascending.
+func walSegIndexes(t testing.TB, dir string) []uint64 {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx []uint64
+	for _, e := range ents {
+		var i uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%010d.seg", &i); err == nil {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// TestCheckpointBoundedRestart is the checkpoint acceptance test: ingest N
+// batches, rebuild and checkpoint, ingest M more, restart — startup must
+// replay only the M post-checkpoint batches, the pre-checkpoint segments
+// must be gone from disk, the idempotency window must survive the restart,
+// and the answers must equal an uncrashed run's bit for bit.
+func TestCheckpointBoundedRestart(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	const n = 3000
+	const N, M = 6, 3
+	cfg := Config{Online: core.OnlineConfig{Seed: 91}}
+	mkBatches := func() [][][]engine.Value {
+		rng := randx.New(77)
+		out := make([][][]engine.Value, N+M)
+		for i := range out {
+			out[i] = ingestRows(rng, 40)
+		}
+		return out
+	}
+
+	// Reference: the same sequence in one uncrashed process (rebuild
+	// included — it changes the sample family), no checkpoint, no restart.
+	sysRef, cRef, _ := newCheckpointSystem(t, n, t.TempDir(), cfg)
+	ref := mkBatches()
+	for i := 0; i < N; i++ {
+		if _, err := cRef.Ingest(fmt.Sprintf("b-%d", i), ref[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuildNow(t, cRef)
+	for i := N; i < N+M; i++ {
+		if _, err := cRef.Ingest(fmt.Sprintf("b-%d", i), ref[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := answersOf(t, sysRef)
+
+	// Live run: same sequence, but the rebuild persists a checkpoint.
+	walDir := t.TempDir()
+	cat, err := catalog.Open(t.TempDir(), catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys1, c1, w1 := newCheckpointSystem(t, n, walDir, cfg)
+	batches := mkBatches()
+	for i := 0; i < N; i++ {
+		if _, err := c1.Ingest(fmt.Sprintf("b-%d", i), batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := len(walSegIndexes(t, walDir))
+	rebuildNow(t, c1)
+	res, err := c1.SaveCheckpoint(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != 1 || res.GCErr != nil {
+		t.Fatalf("SaveCheckpoint = %+v, want generation 1 with clean GC", res)
+	}
+	if res.Removed < 1 {
+		t.Fatalf("checkpoint removed %d segments; the %d batches were meant to span several (shrink ckSegBytes?)", res.Removed, N)
+	}
+	if after := len(walSegIndexes(t, walDir)); after != before-res.Removed {
+		t.Fatalf("wal dir has %d segments, want %d - %d removed", after, before, res.Removed)
+	}
+	for i := N; i < N+M; i++ {
+		if _, err := c1.Ingest(fmt.Sprintf("b-%d", i), batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := answersOf(t, sys1); got != want {
+		t.Error("checkpointed run answers differ from the uncrashed reference")
+	}
+	w1.Close()
+
+	// Restart, mirroring cmd/aqpd recovery: regenerate the base, restore the
+	// newest snapshot (samples + delta + idempotency window), finish any
+	// interrupted GC, and replay only the tail past the checkpoint.
+	sys2 := core.NewSystem(ingestDB(t, n))
+	var snap *Snapshot
+	lr, err := cat.LoadLatest(func(r io.Reader) error {
+		s, derr := DecodeSnapshot(r)
+		if derr != nil {
+			return derr
+		}
+		snap = s
+		return nil
+	})
+	if err != nil || lr.Generation != 1 {
+		t.Fatalf("LoadLatest = gen %d err %v, want generation 1", lr.Generation, err)
+	}
+	ck := snap.Checkpoint
+	if ck == nil {
+		t.Fatal("restored snapshot has no checkpoint")
+	}
+	if ck.BaseRows != uint64(n) {
+		t.Fatalf("checkpoint base rows = %d, want %d", ck.BaseRows, n)
+	}
+	if err := snap.Restore(sys2, "smallgroup"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys2.DB().NumRows(); got != n+N*40 {
+		t.Fatalf("restored base+delta has %d rows, want %d", got, n+N*40)
+	}
+	for _, idx := range walSegIndexes(t, walDir) {
+		if idx < ck.Seg {
+			t.Fatalf("segment %d survives below the checkpoint position %d", idx, ck.Seg)
+		}
+	}
+	w2, err := OpenWALWith(walDir, WALOptions{SegmentBytes: ckSegBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w2.Close() })
+	if removed, err := w2.RemoveSegmentsBelow(ck.Seg); err != nil || removed != 0 {
+		t.Fatalf("startup GC = (%d, %v), want nothing left to do", removed, err)
+	}
+	// Snapshot-restored prepared state does not carry the preprocessing
+	// config, so the small-group fraction must be supplied explicitly (as
+	// cmd/aqpd does) and must match what the pre-restart run derived.
+	online2 := cfg.Online
+	online2.SmallGroupFraction = ingestSGCfg.SmallGroupFraction
+	c2, err := New(sys2, w2, Config{
+		Online:   online2,
+		BaseRows: int(ck.BaseRows),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.SeedIdempotency(snap.IDs)
+	rs, err := c2.ReplayWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Batches != M || rs.Torn {
+		t.Fatalf("replayed %d batches (torn=%v), want exactly the %d post-checkpoint batches", rs.Batches, rs.Torn, M)
+	}
+	if got := answersOf(t, sys2); got != want {
+		t.Error("restarted answers differ from the uncrashed reference")
+	}
+	// The idempotency window survives the restart on both sides of the
+	// checkpoint: a covered batch id comes from the snapshot, a replayed one
+	// from the tail.
+	if _, err := c2.Ingest("b-2", batches[2]); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("re-ingesting a checkpoint-covered batch id: err = %v, want ErrDuplicate", err)
+	}
+	if _, err := c2.Ingest(fmt.Sprintf("b-%d", N+1), batches[N+1]); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("re-ingesting a replayed batch id: err = %v, want ErrDuplicate", err)
+	}
+}
+
+// TestCheckpointGCCrashMidwayRecovers: a failure partway through segment
+// deletion must not fail the checkpoint (the snapshot is durable) and must
+// leave a WAL that reopens cleanly; the next startup's GC finishes the job.
+func TestCheckpointGCCrashMidwayRecovers(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	const n = 3000
+	cfg := Config{Online: core.OnlineConfig{Seed: 92}}
+	walDir := t.TempDir()
+	cat, err := catalog.Open(t.TempDir(), catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c1, w1 := newCheckpointSystem(t, n, walDir, cfg)
+	rng := randx.New(78)
+	for i := 0; i < 8; i++ {
+		if _, err := c1.Ingest(fmt.Sprintf("b-%d", i), ingestRows(rng, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := walSegIndexes(t, walDir); len(segs) < 3 {
+		t.Fatalf("only %d segments; the test needs at least 2 removable ones", len(segs))
+	}
+	rebuildNow(t, c1)
+
+	boom := errors.New("injected unlink failure")
+	faults.SetErr(faults.PointWALGC, faults.FailNth(1, boom)) // first removal lands, second dies
+	res, err := c1.SaveCheckpoint(cat)
+	faults.Reset()
+	if err != nil {
+		t.Fatalf("SaveCheckpoint failed outright on a GC error: %v", err)
+	}
+	if res.Generation != 1 || res.Removed != 1 || !errors.Is(res.GCErr, boom) {
+		t.Fatalf("SaveCheckpoint = gen %d removed %d gcErr %v, want gen 1, 1 removed, the injected failure", res.Generation, res.Removed, res.GCErr)
+	}
+	w1.Close()
+
+	// The partial deletion removed the lowest segment first, so what's on
+	// disk is a contiguous suffix and reopen must succeed.
+	w2, err := OpenWALWith(walDir, WALOptions{SegmentBytes: ckSegBytes})
+	if err != nil {
+		t.Fatalf("reopen after interrupted GC: %v", err)
+	}
+	t.Cleanup(func() { w2.Close() })
+
+	var snap *Snapshot
+	if _, err := cat.LoadLatest(func(r io.Reader) error {
+		s, derr := DecodeSnapshot(r)
+		if derr == nil {
+			snap = s
+		}
+		return derr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := w2.RemoveSegmentsBelow(snap.Checkpoint.Seg)
+	if err != nil || removed < 1 {
+		t.Fatalf("startup GC = (%d, %v), want it to finish the interrupted deletion", removed, err)
+	}
+	for _, idx := range walSegIndexes(t, walDir) {
+		if idx < snap.Checkpoint.Seg {
+			t.Fatalf("segment %d survives below checkpoint position %d after startup GC", idx, snap.Checkpoint.Seg)
+		}
+	}
+}
+
+// TestCheckpointVerifyFailureRetainsWAL: if the just-written snapshot does
+// not read back and decode from disk, no WAL segment may be deleted — replay
+// from the full log is the only copy of the data at that point.
+func TestCheckpointVerifyFailureRetainsWAL(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	const n = 3000
+	walDir := t.TempDir()
+	cat, err := catalog.Open(t.TempDir(), catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c1, _ := newCheckpointSystem(t, n, walDir, Config{Online: core.OnlineConfig{Seed: 93}})
+	rng := randx.New(79)
+	for i := 0; i < 6; i++ {
+		if _, err := c1.Ingest(fmt.Sprintf("b-%d", i), ingestRows(rng, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuildNow(t, c1)
+	before := walSegIndexes(t, walDir)
+
+	// Corrupt the snapshot as it lands: SaveWithCheckpoint sees a clean
+	// write, but the read-back verification must catch the damage.
+	faults.SetData(faults.PointSnapshotChunk, func(i int, b []byte) {
+		if i == 0 && len(b) > 0 {
+			b[0] ^= 0x40
+		}
+	})
+	res, err := c1.SaveCheckpoint(cat)
+	faults.Reset()
+	if err == nil {
+		t.Fatal("SaveCheckpoint accepted a snapshot that does not verify on disk")
+	}
+	if res.Removed != 0 {
+		t.Fatalf("deleted %d wal segments on the strength of an unverified snapshot", res.Removed)
+	}
+	after := walSegIndexes(t, walDir)
+	if len(after) != len(before) {
+		t.Fatalf("wal went from %v to %v despite the failed checkpoint", before, after)
+	}
+}
+
+// TestCheckpointRefusedDuringRebuild: the cut must describe a paused,
+// self-consistent instant; mid-rebuild the tail buffer makes that
+// impossible.
+func TestCheckpointRefusedDuringRebuild(t *testing.T) {
+	const n = 2000
+	cat, err := catalog.Open(t.TempDir(), catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, _ := newCheckpointSystem(t, n, t.TempDir(), Config{Online: core.OnlineConfig{Seed: 94}})
+	if _, _, err := c.BeginRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SaveCheckpoint(cat); err == nil {
+		t.Fatal("SaveCheckpoint succeeded during a rebuild")
+	}
+	c.AbortRebuild()
+}
+
+// TestWALTornSegmentCreationRepaired: a crash between creating the next
+// segment file and making its magic durable leaves a husk shorter than the
+// header. Open must repair it in place (it cannot hold a record) and keep
+// appending into it.
+func TestWALTornSegmentCreationRepaired(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Simulate the crash: the rotation's target exists with half a magic.
+	husk := filepath.Join(dir, fmt.Sprintf("wal-%010d.seg", 1))
+	if err := os.WriteFile(husk, []byte(segMagic[:3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatalf("open with a torn segment creation: %v", err)
+	}
+	if !w2.Torn() {
+		t.Error("torn segment creation not reported as a torn tail")
+	}
+	if err := w2.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	payloads, torn := mustReplay(t, dir)
+	if torn || len(payloads) != 2 || string(payloads[0]) != "one" || string(payloads[1]) != "two" {
+		t.Fatalf("replay = %d records (torn=%v), want [one two] clean", len(payloads), torn)
+	}
+}
+
+// TestWALProbeAppendsNoopAndReplaySkipsIt: the degraded-mode probe writes a
+// no-op frame to prove the disk heals; replay must skip it without consuming
+// a sequence number.
+func TestWALProbeAppendsNoopAndReplaySkipsIt(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected enospc")
+	faults.SetErr(faults.PointWALSync, faults.FailNth(0, boom))
+	if err := w.Append([]byte("lost")); !errors.Is(err, boom) {
+		t.Fatalf("faulted append err = %v, want %v", err, boom)
+	}
+	faults.Reset()
+	if err := w.Probe(); err != nil {
+		t.Fatalf("probe after the fault cleared: %v", err)
+	}
+	if err := w.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	payloads, torn := mustReplay(t, dir)
+	if torn || len(payloads) != 3 {
+		t.Fatalf("replay = %d records (torn=%v), want 3 clean", len(payloads), torn)
+	}
+	if !IsNoop(payloads[1]) {
+		t.Fatalf("middle record %q is not the probe's no-op frame", payloads[1])
+	}
+	if string(payloads[0]) != "payload" || string(payloads[2]) != "after" {
+		t.Fatalf("payloads = %q", payloads)
+	}
+}

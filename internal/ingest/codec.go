@@ -22,11 +22,23 @@ import (
 const (
 	batchVersion = 1
 
+	// noopVersion tags a no-op control frame: a record that carries no batch
+	// and exists only to prove the log is writable again (the degraded-mode
+	// probe appends one after a disk fault clears). Replay skips it without
+	// consuming a sequence number.
+	noopVersion = 0xFF
+
 	maxBatchRows = 1 << 18 // rows per batch
 	maxBatchCols = 1 << 12 // columns per row
 	maxBatchID   = 1 << 10 // client batch id bytes
 	maxValueLen  = 1 << 20 // string value bytes
 )
+
+// EncodeNoop returns the payload of a no-op control frame (see noopVersion).
+func EncodeNoop() []byte { return []byte{noopVersion} }
+
+// IsNoop reports whether a WAL record payload is a no-op control frame.
+func IsNoop(p []byte) bool { return len(p) == 1 && p[0] == noopVersion }
 
 // Batch is one decoded ingest batch.
 type Batch struct {

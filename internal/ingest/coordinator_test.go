@@ -168,12 +168,12 @@ func TestCoordinatorCrashRecoveryBitIdentical(t *testing.T) {
 
 	// Restart: regenerated base + fresh preprocess + WAL replay.
 	sys2, c2, _ := newIngestSystem(t, n, dir, cfg)
-	batches, _, err := c2.ReplayWAL()
+	rs, err := c2.ReplayWAL()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if batches != 4 {
-		t.Fatalf("replayed %d batches, want 4 durable ones (torn tail rejected)", batches)
+	if rs.Batches != 4 {
+		t.Fatalf("replayed %d batches, want 4 durable ones (torn tail rejected)", rs.Batches)
 	}
 	if g := c2.Generation(); g != 4 {
 		t.Fatalf("generation after replay = %d, want 4", g)
@@ -247,12 +247,12 @@ func TestCoordinatorSnapshotRestoreReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replayed, torn, err := c2.ReplayWAL()
+	rs, err := c2.ReplayWAL()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if torn || replayed != 4 {
-		t.Fatalf("replayed %d batches (torn=%v), want 4", replayed, torn)
+	if rs.Torn || rs.Batches != 4 {
+		t.Fatalf("replayed %d batches (torn=%v), want 4", rs.Batches, rs.Torn)
 	}
 	if got := answersOf(t, sys2); got != want {
 		t.Error("answers after snapshot restore + replay differ from uninterrupted run")
@@ -359,15 +359,17 @@ func TestCoordinatorBackpressure(t *testing.T) {
 }
 
 // TestCoordinatorWALFailureNotApplied injects an fsync failure and checks
-// the batch is neither acknowledged nor applied — and that the pipeline
-// recovers for the next batch.
+// the batch is neither acknowledged nor applied — the coordinator latches
+// degraded read-only mode, and a probe after the fault clears brings ingest
+// back without a restart.
 func TestCoordinatorWALFailureNotApplied(t *testing.T) {
-	sys, c, _ := newIngestSystem(t, 2000, t.TempDir(), Config{Online: core.OnlineConfig{Seed: 9}})
+	sys, c, _ := newIngestSystem(t, 2000, t.TempDir(),
+		Config{Online: core.OnlineConfig{Seed: 9}, ProbeBackoff: time.Hour})
 	boom := errors.New("injected fsync failure")
 	faults.SetErr(faults.PointWALSync, faults.FailNth(0, boom))
 	t.Cleanup(faults.Reset)
-	if _, err := c.Ingest("x", ingestRows(randx.New(5), 10)); !errors.Is(err, boom) {
-		t.Fatalf("err = %v, want injected failure", err)
+	if _, err := c.Ingest("x", ingestRows(randx.New(5), 10)); !errors.Is(err, boom) || !errors.Is(err, ErrDegraded) {
+		t.Fatalf("err = %v, want injected failure wrapped in ErrDegraded", err)
 	}
 	if g := c.Generation(); g != 0 {
 		t.Fatalf("generation = %d after failed append, want 0", g)
@@ -375,7 +377,17 @@ func TestCoordinatorWALFailureNotApplied(t *testing.T) {
 	if got := sys.DB().NumRows(); got != 2000 {
 		t.Fatalf("base grew to %d rows on a failed append", got)
 	}
+	// Degraded mode fast-fails further ingest without touching the disk.
+	if _, err := c.Ingest("x", ingestRows(randx.New(5), 10)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("ingest while degraded: err = %v, want ErrDegraded", err)
+	}
 	faults.Reset()
+	if err := c.ProbeNow(); err != nil {
+		t.Fatalf("probe after the fault cleared: %v", err)
+	}
+	if err := c.Degraded(); err != nil {
+		t.Fatalf("still degraded after a successful probe: %v", err)
+	}
 	if _, err := c.Ingest("x", ingestRows(randx.New(5), 10)); err != nil {
 		t.Fatalf("ingest after recovered fault: %v", err)
 	}
@@ -389,7 +401,7 @@ func TestCoordinatorWALFailureNotApplied(t *testing.T) {
 // with a run that never saw the fault.
 func TestCoordinatorSyncFailureSurvivesRestart(t *testing.T) {
 	const n = 2000
-	cfg := Config{Online: core.OnlineConfig{Seed: 41}}
+	cfg := Config{Online: core.OnlineConfig{Seed: 41}, ProbeBackoff: time.Hour}
 	mkBatches := func() [][][]engine.Value {
 		rng := randx.New(999)
 		out := make([][][]engine.Value, 2)
@@ -417,13 +429,19 @@ func TestCoordinatorSyncFailureSurvivesRestart(t *testing.T) {
 	boom := errors.New("transient enospc")
 	faults.SetErr(faults.PointWALSync, func(int) error { return boom })
 	t.Cleanup(faults.Reset)
-	for i := 0; i < 2; i++ {
-		_, err := c1.Ingest("b-1", batches[1])
-		if !errors.Is(err, boom) || !errors.Is(err, ErrUnavailable) {
-			t.Fatalf("attempt %d: err = %v, want the injected failure wrapped in ErrUnavailable", i, err)
-		}
+	// First attempt hits the disk and latches degraded mode; the second
+	// fast-fails without touching the WAL. Both wrap ErrUnavailable (via
+	// ErrDegraded) so existing callers keep matching.
+	if _, err := c1.Ingest("b-1", batches[1]); !errors.Is(err, boom) || !errors.Is(err, ErrUnavailable) || !errors.Is(err, ErrDegraded) {
+		t.Fatalf("first attempt: err = %v, want the injected failure wrapped in ErrDegraded", err)
+	}
+	if _, err := c1.Ingest("b-1", batches[1]); !errors.Is(err, ErrDegraded) || !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("second attempt: err = %v, want fast-fail ErrDegraded", err)
 	}
 	faults.Reset()
+	if err := c1.ProbeNow(); err != nil {
+		t.Fatalf("probe after the fault cleared: %v", err)
+	}
 	if _, err := c1.Ingest("b-1", batches[1]); err != nil {
 		t.Fatalf("retry after the fault cleared: %v", err)
 	}
@@ -433,14 +451,15 @@ func TestCoordinatorSyncFailureSurvivesRestart(t *testing.T) {
 	w1.Close()
 
 	// Restart: the log must replay cleanly with exactly the two acknowledged
-	// batches — the failed attempts left neither torn frames nor duplicates.
+	// batches — the failed attempts left neither torn frames nor duplicates,
+	// and the recovery probe's no-op frame is skipped without a sequence.
 	sys2, c2, _ := newIngestSystem(t, n, dir, cfg)
-	replayed, torn, err := c2.ReplayWAL()
+	rs, err := c2.ReplayWAL()
 	if err != nil {
 		t.Fatalf("replay after failed appends: %v", err)
 	}
-	if torn || replayed != 2 {
-		t.Fatalf("replayed %d batches (torn=%v), want 2 clean", replayed, torn)
+	if rs.Torn || rs.Batches != 2 {
+		t.Fatalf("replayed %d batches (torn=%v), want 2 clean", rs.Batches, rs.Torn)
 	}
 	if got := answersOf(t, sys2); got != want {
 		t.Error("answers after restart differ from the fault-free run")

@@ -20,9 +20,14 @@
 //     request-id idempotency, bounded backpressure, drift-triggered rebuild
 //     hand-off, and startup replay.
 //
-// The WAL is the system of record for ingested rows: the sample catalog
-// persists only the derived sample family, and the base data is regenerated
-// at startup, so segments are never deleted once written.
+// The WAL is the system of record for ingested rows between checkpoints:
+// the base data is regenerated at startup and the durable log is replayed on
+// top of it. Checkpointed snapshots bound that lifecycle — a snapshot that
+// embeds the ingested rows and records the WAL position it covers lets
+// RemoveSegmentsBelow delete every fully-covered segment, so disk usage and
+// restart replay are proportional to ingest-since-last-checkpoint rather
+// than ingest-since-birth (see checkpoint.go and Coordinator.SaveCheckpoint).
+// Segments at or above the checkpointed position are never deleted.
 package ingest
 
 import (
@@ -84,12 +89,22 @@ type WAL struct {
 	broken error
 }
 
+// WALOptions tunes OpenWALWith. The zero value matches OpenWAL.
+type WALOptions struct {
+	// SegmentBytes overrides the rotation threshold (default 64 MiB). Small
+	// values let tests exercise multi-segment lifecycles with little data.
+	SegmentBytes int64
+}
+
 // OpenWAL opens (or creates) the log in dir and prepares it for appending.
 // If the newest segment ends in a torn record — the signature of a crash
 // mid-append — the tail is truncated to the last whole record before the
 // segment is reopened for writing, so the damage cannot propagate under new
 // appends. Call Replay before appending to rebuild in-memory state.
-func OpenWAL(dir string) (*WAL, error) {
+func OpenWAL(dir string) (*WAL, error) { return OpenWALWith(dir, WALOptions{}) }
+
+// OpenWALWith is OpenWAL with explicit options.
+func OpenWALWith(dir string, opts WALOptions) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ingest: creating wal dir: %w", err)
 	}
@@ -97,7 +112,11 @@ func OpenWAL(dir string) (*WAL, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, maxBytes: defaultSegBytes}
+	maxBytes := opts.SegmentBytes
+	if maxBytes <= 0 {
+		maxBytes = defaultSegBytes
+	}
+	w := &WAL{dir: dir, maxBytes: maxBytes}
 	if len(segs) == 0 {
 		if err := w.openSegment(0); err != nil {
 			return nil, err
@@ -143,11 +162,36 @@ func OpenWAL(dir string) (*WAL, error) {
 		}
 		w.torn = true
 	}
+	// A segment shorter than its magic is a torn creation: the process died
+	// between creating the file and making the header durable, so it never
+	// held a record. Rewrite the header in place rather than appending
+	// records to a file replay will refuse.
+	if valid < int64(len(segMagic)) {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: repairing torn segment creation: %w", err)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.WriteString(segMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: rewriting wal segment header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: fsync rewritten wal segment header: %w", err)
+		}
+		valid = int64(len(segMagic))
+		w.torn = true
+	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		return nil, err
 	}
 	w.f, w.segIndex, w.segBytes = f, last, valid
+	obsWALSegments.Set(float64(last + 1))
 	if w.segBytes >= w.maxBytes {
 		if err := w.rotate(); err != nil {
 			return nil, err
@@ -162,6 +206,17 @@ func (w *WAL) Dir() string { return w.dir }
 // Torn reports whether OpenWAL truncated a torn tail — the signature of a
 // crash mid-append. aqpd surfaces it as a startup warning.
 func (w *WAL) Torn() bool { return w.torn }
+
+// Broken returns the error that made the WAL refuse appends (a rollback or
+// rotation failure that could not be repaired in place), or nil while the
+// log is writable. Probe attempts to clear it.
+func (w *WAL) Broken() error { return w.broken }
+
+// Position returns the write position: the active segment's index and the
+// byte offset appends will land at. Immediately after a successful Append it
+// is the position just past that record, so a snapshot taken while no append
+// is in flight can record it as the point the snapshot covers.
+func (w *WAL) Position() (seg uint64, off int64) { return w.segIndex, w.segBytes }
 
 // Append frames payload as one record, writes it to the active segment and
 // fsyncs before returning. A nil error means the record is durable: a crash
@@ -241,6 +296,113 @@ func (w *WAL) repairTail() {
 	}
 }
 
+// Probe checks whether the log is writable again after a disk fault: it
+// repairs a broken tail if one is latched (reopening the active segment,
+// truncating it back to the last acknowledged byte, and finishing any
+// interrupted rotation), then appends and fsyncs a no-op control frame that
+// replay recognises and skips. A nil return proves a full append round-trip
+// reached stable storage — the degraded coordinator uses it to decide the
+// disk has healed. On failure the WAL stays (or becomes) broken and the next
+// Probe retries from scratch.
+func (w *WAL) Probe() error {
+	if w.broken != nil || w.f == nil {
+		if err := w.reopenTail(); err != nil {
+			return err
+		}
+	}
+	return w.Append(EncodeNoop())
+}
+
+// reopenTail re-establishes a writable active segment after a failure left
+// it in an unknown state. Every acknowledged byte was fsynced, so truncating
+// the segment file back to the acknowledged length (w.segBytes) discards
+// exactly the garbage a failed append may have left — including a complete
+// record whose fsync failed and was therefore never acknowledged; keeping it
+// would let the next append duplicate its sequence number. If the segment
+// was full, the interrupted rotation is finished.
+func (w *WAL) reopenTail() error {
+	if w.f != nil {
+		w.f.Close() // may already be closed by a half-finished rotation
+		w.f = nil
+	}
+	path := filepath.Join(w.dir, segName(w.segIndex))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("ingest: reopening wal segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if st.Size() < w.segBytes {
+		// Acknowledged bytes are missing from the file — that is data loss,
+		// not a repairable append failure.
+		f.Close()
+		return walCorruptf("%s: %d bytes on disk, %d acknowledged", segName(w.segIndex), st.Size(), w.segBytes)
+	}
+	if err := f.Truncate(w.segBytes); err != nil {
+		f.Close()
+		return fmt.Errorf("ingest: truncating wal segment to acknowledged length: %w", err)
+	}
+	if _, err := f.Seek(w.segBytes, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ingest: fsync after wal tail repair: %w", err)
+	}
+	w.f = f
+	w.broken = nil
+	if w.segBytes >= w.maxBytes {
+		if err := w.rotate(); err != nil {
+			w.broken = err
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveSegmentsBelow deletes every sealed segment whose index is below seg —
+// the segments a checkpoint fully covers. The active segment is never deleted
+// regardless of seg. Deletion proceeds in ascending index order so a crash
+// mid-GC leaves the surviving segments contiguous (listSegments treats a gap
+// as data loss); an error aborts the sweep at the first failure, and a later
+// call — or the startup GC after the next restart — finishes it. Returns the
+// number of segments removed. Fault point: PointWALGC (ErrHook, fired with
+// each segment index before its deletion).
+func (w *WAL) RemoveSegmentsBelow(seg uint64) (removed int, err error) {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, idx := range segs {
+		if idx >= seg || idx == w.segIndex {
+			break
+		}
+		if err := faults.FireErr(faults.PointWALGC, int(idx)); err != nil {
+			obsWALGCErrors.Inc()
+			return removed, fmt.Errorf("ingest: wal gc: %w", err)
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(idx))); err != nil {
+			obsWALGCErrors.Inc()
+			return removed, fmt.Errorf("ingest: wal gc: %w", err)
+		}
+		removed++
+		obsWALGCRemoved.Inc()
+	}
+	if removed > 0 {
+		// Make the deletions durable so a crash cannot resurrect a directory
+		// entry in the middle of the sequence.
+		if d, derr := os.Open(w.dir); derr == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return removed, nil
+}
+
 // Close flushes and closes the active segment.
 func (w *WAL) Close() error {
 	if w.f == nil {
@@ -268,6 +430,19 @@ func (w *WAL) rotate() error {
 func (w *WAL) openSegment(idx uint64) error {
 	path := filepath.Join(w.dir, segName(idx))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if errors.Is(err, os.ErrExist) {
+		// A rotation that died between creating this file and making its
+		// header durable left a husk behind; since openSegment never returned,
+		// the file cannot hold acknowledged records, so if it is no longer
+		// than a header it is safe to recreate. Anything longer is not ours
+		// to delete.
+		if st, serr := os.Stat(path); serr == nil && st.Size() <= int64(len(segMagic)) {
+			if rerr := os.Remove(path); rerr != nil {
+				return fmt.Errorf("ingest: removing torn wal segment: %w", rerr)
+			}
+			f, err = os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("ingest: creating wal segment: %w", err)
 	}
@@ -374,9 +549,17 @@ func scanSegment(path string, fn func(payload []byte) error) (valid int64, ok bo
 // via the returned torn flag; the same damage in an earlier segment returns
 // an error wrapping ErrCorrupt. An error from fn aborts the replay.
 func Replay(dir string, fn func(payload []byte) error) (records int, torn bool, err error) {
+	records, _, _, torn, err = replayDetail(dir, fn)
+	return records, torn, err
+}
+
+// replayDetail is Replay plus the physical dimensions of the scan: how many
+// segments were read and how many valid bytes they held (the cost of this
+// recovery, exported as replay metrics by the coordinator).
+func replayDetail(dir string, fn func(payload []byte) error) (records, segments int, bytes int64, torn bool, err error) {
 	segs, err := listSegments(dir)
 	if err != nil {
-		return 0, false, err
+		return 0, 0, 0, false, err
 	}
 	for i, idx := range segs {
 		path := filepath.Join(dir, segName(idx))
@@ -384,28 +567,30 @@ func Replay(dir string, fn func(payload []byte) error) (records int, torn bool, 
 			records++
 			return fn(p)
 		})
+		segments++
+		bytes += valid
 		if err != nil {
-			return records, false, err
+			return records, segments, bytes, false, err
 		}
 		if !clean {
 			if i != len(segs)-1 {
-				return records, false, walCorruptf("%s: corrupt record in non-final segment", segName(idx))
+				return records, segments, bytes, false, walCorruptf("%s: corrupt record in non-final segment", segName(idx))
 			}
 			// A torn tail is only believable if nothing valid follows the bad
 			// frame; an intact record behind it means the frame is mid-segment
 			// corruption and acknowledged batches would be lost.
 			later, lerr := validRecordAfter(path, valid)
 			if lerr != nil {
-				return records, false, lerr
+				return records, segments, bytes, false, lerr
 			}
 			if later {
-				return records, false, walCorruptf("%s: intact records follow an invalid frame at offset %d (mid-segment corruption, not a torn tail)",
+				return records, segments, bytes, false, walCorruptf("%s: intact records follow an invalid frame at offset %d (mid-segment corruption, not a torn tail)",
 					segName(idx), valid)
 			}
-			return records, true, nil
+			return records, segments, bytes, true, nil
 		}
 	}
-	return records, false, nil
+	return records, segments, bytes, false, nil
 }
 
 // validRecordAfter reports whether any byte offset at or after off in the

@@ -183,25 +183,35 @@ func TestIngestBadRequests(t *testing.T) {
 	}
 }
 
-// TestIngestWALFailureIs500: a WAL fsync failure is the server's fault, not
-// the request's — it must surface as 500/internal (so clients keep the batch
-// and retry) rather than 400, and the rolled-back frame must let the retry
-// succeed once the fault clears.
-func TestIngestWALFailureIs500(t *testing.T) {
-	srv, _, _ := ingestServer(t, ingest.Config{Online: core.OnlineConfig{Seed: 6}})
+// TestIngestWALFailureDegrades: a WAL fsync failure is the server's fault,
+// not the request's — it latches read-only degraded mode and surfaces as a
+// retryable 503 with Retry-After (so clients keep the batch and retry) rather
+// than 400 or a permanent 500, and once the disk heals a probe restores
+// ingest without a restart.
+func TestIngestWALFailureDegrades(t *testing.T) {
+	srv, coord, _ := ingestServer(t, ingest.Config{
+		Online:       core.OnlineConfig{Seed: 6},
+		ProbeBackoff: time.Hour, // drive recovery via ProbeNow, not the background loop
+	})
 	faults.SetErr(faults.PointWALSync, faults.FailNth(0, errors.New("disk full")))
 	t.Cleanup(faults.Reset)
 	req := IngestRequest{
 		Rows: [][]json.RawMessage{{json.RawMessage(`"zz"`), json.RawMessage(`1.5`)}},
 	}
 	resp, body := post(t, srv, "/v1/ingest", req)
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("status %d (%s), want 500 for a WAL failure", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503 for a WAL failure", resp.StatusCode, body)
 	}
-	if er := decodeErr(t, body); er.Error.Code != CodeInternal {
-		t.Fatalf("code %q, want %q", er.Error.Code, CodeInternal)
+	if er := decodeErr(t, body); er.Error.Code != CodeIngestDegraded {
+		t.Fatalf("code %q, want %q", er.Error.Code, CodeIngestDegraded)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 is missing a Retry-After header")
 	}
 	faults.Reset()
+	if err := coord.ProbeNow(); err != nil {
+		t.Fatalf("probe after the fault cleared: %v", err)
+	}
 	resp, body = post(t, srv, "/v1/ingest", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("retry after the fault cleared: %d (%s)", resp.StatusCode, body)

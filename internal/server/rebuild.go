@@ -92,8 +92,15 @@ type RebuildStatus struct {
 	Persisted bool `json:"persisted"`
 	// PersistError carries a catalog save failure. The swap still happened —
 	// the server is answering from the new samples — but the generation is
-	// not durable.
+	// not durable (or, for a manifest-only failure, durable with stale
+	// advisory metadata).
 	PersistError string `json:"persistError,omitempty"`
+	// WALSegmentsRemoved is how many fully-checkpointed WAL segments the
+	// save garbage-collected (ingest-enabled servers only).
+	WALSegmentsRemoved int `json:"walSegmentsRemoved,omitempty"`
+	// WALGCError carries a non-fatal segment-deletion failure; leftover
+	// segments are retried at the next checkpoint or startup.
+	WALGCError string `json:"walGCError,omitempty"`
 }
 
 // Rebuild runs one zero-downtime rebuild: pre-process the base data with
@@ -154,16 +161,22 @@ func (s *Server) Rebuild() (RebuildStatus, error) {
 			obsRebuilds.With("error").Inc()
 			return st, fmt.Errorf("server: rebuild rebase: %w", err)
 		}
-		p, _ = s.sys.Prepared(s.strategy)
 		if rb.Catalog != nil {
-			gen, err := rb.Catalog.Save(func(w io.Writer) error {
-				return core.SaveSmallGroup(w, p)
-			})
+			// SaveCheckpoint persists the rebuilt samples together with the
+			// WAL position they cover, then deletes the fully-covered
+			// segments — this is what bounds restart replay and WAL disk
+			// usage to ingest-since-last-rebuild.
+			res, err := ing.SaveCheckpoint(rb.Catalog)
+			if res.Generation > 0 {
+				st.Generation = res.Generation
+				st.Persisted = true
+			}
 			if err != nil {
 				st.PersistError = err.Error()
-			} else {
-				st.Generation = gen
-				st.Persisted = true
+			}
+			st.WALSegmentsRemoved = res.Removed
+			if res.GCErr != nil {
+				st.WALGCError = res.GCErr.Error()
 			}
 		}
 	} else {
@@ -241,6 +254,12 @@ type HealthResponse struct {
 	// LastRebuildError is the most recent failed rebuild's error; cleared
 	// by the next success.
 	LastRebuildError string `json:"lastRebuildError,omitempty"`
+	// Ingest reports the ingest coordinator's availability: "ok",
+	// "degraded" (disk fault, ingest 503s, self-recovering) or "poisoned"
+	// (restart required). Empty when ingestion is not configured.
+	Ingest string `json:"ingest,omitempty"`
+	// IngestDetail carries the underlying fault when Ingest is not "ok".
+	IngestDetail string `json:"ingestDetail,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -262,6 +281,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if e := s.health.lastErr.Load(); e != nil {
 		resp.LastRebuildError = *e
 	}
+	if ing := s.cfg.Ingest; ing != nil {
+		resp.Ingest, resp.IngestDetail = ing.State()
+	}
 	writeJSON(w, resp)
 }
 
@@ -269,12 +291,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 type ReadyResponse struct {
 	Ready  bool   `json:"ready"`
 	Reason string `json:"reason,omitempty"`
+	// Ingest mirrors HealthResponse.Ingest. Degraded or poisoned ingest
+	// does NOT flip readiness — the server still answers queries — but
+	// orchestrators that route writes can read it here.
+	Ingest string `json:"ingest,omitempty"`
 }
 
 // handleReadyz reports 200 once the active strategy has runtime state to
 // answer from, 503 otherwise — the signal a load balancer or orchestrator
 // uses to gate traffic. A rebuild does not flip readiness: the old
-// generation keeps serving until the swap.
+// generation keeps serving until the swap. Neither does degraded ingest:
+// read traffic is exactly what a degraded server can still take.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if _, ok := s.sys.Prepared(s.strategy); !ok {
 		w.Header().Set("Content-Type", "application/json")
@@ -283,5 +310,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		w.Write(append(b, '\n'))
 		return
 	}
-	writeJSON(w, ReadyResponse{Ready: true})
+	resp := ReadyResponse{Ready: true}
+	if ing := s.cfg.Ingest; ing != nil {
+		resp.Ingest, _ = ing.State()
+	}
+	writeJSON(w, resp)
 }

@@ -281,6 +281,10 @@ const (
 	CodeInternal           = "internal"
 	CodeUnimplemented      = "unimplemented"
 	CodeBoundUnsatisfiable = "bound_unsatisfiable"
+	// CodeIngestDegraded marks ingest refused because a disk fault put the
+	// WAL into read-only degraded mode; the request is retryable (503 +
+	// Retry-After) and ingest self-recovers once the disk heals.
+	CodeIngestDegraded = "ingest_degraded"
 )
 
 // Handler returns the HTTP routes — the /v1 surface plus the legacy
