@@ -7,12 +7,18 @@ GO ?= go
 all: build vet test
 
 # The CI gate: build + vet + full test suite under the race detector,
-# plus the dead-link check over the markdown docs.
+# plus the dead-link check over the markdown docs and a known-vulnerability
+# scan (skipped quietly where govulncheck is not installed; CI installs it).
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	bash scripts/doclinks.sh
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping vulnerability scan"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -31,12 +37,15 @@ test:
 # backpressure, drift-triggered rebuild, checkpoint GC, degraded mode,
 # ingest+query+rebuild stress), and the crash-point simulator (a crash or
 # I/O error at every hook point of ingest → rebuild → checkpoint → GC →
-# restart), all under the race detector.
+# restart), and the cluster tier's network fault drills (shard death mid
+# query, flaky transports, truncated responses, hedging, breaker trips and
+# half-open re-admission), all under the race detector.
 faults:
 	$(GO) test -race -timeout 120s ./internal/faults ./internal/faults/crashsim ./internal/catalog
 	$(GO) test -race -timeout 180s ./internal/ingest
+	$(GO) test -race -timeout 120s ./internal/cluster
 	$(GO) test -race -timeout 180s \
-		-run 'Ctx|Cancel|Deadline|Degrade|Overload|Drain|Panic|Stuck|Robust|BadRequest|Malformed|Stress|WriteJSON|ExactParity|Snapshot|Catalog|Recovery|Rebuild|Swap|Healthz|Readyz|HostileLength|Ingest|WAL|Checkpoint' \
+		-run 'Ctx|Cancel|Deadline|Degrade|Overload|Drain|Panic|Stuck|Robust|BadRequest|Malformed|Stress|WriteJSON|ExactParity|Snapshot|Catalog|Recovery|Rebuild|Swap|Healthz|Readyz|HostileLength|Ingest|WAL|Checkpoint|Shard' \
 		./internal/parallel ./internal/engine ./internal/core ./internal/server
 
 # End-to-end smoke test: boot aqpd, run an explain query over /v1, scrape

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -28,6 +29,7 @@ func runIngest(args []string) {
 		header    = fs.Bool("header", false, "skip the first CSV line (a header row)")
 		batchSize = fs.Int("batch-size", 500, "rows per ingest batch")
 		idPrefix  = fs.String("id-prefix", "", "idempotency id prefix for batches (default: derived from the file name and start time)")
+		retries   = fs.Int("retries", 10, "retries per batch on transient failures (503 backpressure, 5xx, transport errors); each retry reuses the batch's idempotency id")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: aqpcli ingest [-addr URL] [-file rows.csv] [-header] [-batch-size N]")
@@ -36,6 +38,9 @@ func runIngest(args []string) {
 	fs.Parse(args)
 	if *batchSize < 1 {
 		fatal(fmt.Errorf("invalid -batch-size %d: need at least 1 row per batch", *batchSize))
+	}
+	if *retries < 0 {
+		fatal(fmt.Errorf("invalid -retries %d: must be >= 0", *retries))
 	}
 
 	cols, types, err := fetchSchema(*addr)
@@ -76,7 +81,7 @@ func runIngest(args []string) {
 			return nil
 		}
 		id := fmt.Sprintf("%s-%d", *idPrefix, batchNo)
-		if err := postBatch(*addr, id, cols, batch); err != nil {
+		if err := postBatch(*addr, id, cols, batch, *retries); err != nil {
 			return err
 		}
 		total += len(batch)
@@ -158,10 +163,18 @@ func encodeCSVCell(typ, cell string) (json.RawMessage, error) {
 	}
 }
 
-// postBatch sends one batch, retrying 503 backpressure with the same
-// idempotency id (the server deduplicates, so a retry after an ambiguous
-// failure cannot double-append).
-func postBatch(addr, id string, cols []string, rows [][]json.RawMessage) error {
+// ingestBackoff is the initial retry backoff when the server gives no
+// Retry-After hint (doubled per retry, jittered). A variable so tests can
+// collapse the waits.
+var ingestBackoff = 250 * time.Millisecond
+
+// postBatch sends one batch, retrying transient failures — 503 backpressure,
+// other 5xx, and transport errors (a connection that died mid-request) — up
+// to retries extra attempts, always with the same idempotency id: the server
+// deduplicates batch_id, so a retry after an ambiguous failure cannot
+// double-append. A 503's Retry-After hint overrides the local backoff.
+// Non-503 4xx means the batch itself is bad and is never retried.
+func postBatch(addr, id string, cols []string, rows [][]json.RawMessage, retries int) error {
 	body, err := json.Marshal(map[string]any{
 		"columns":  cols,
 		"rows":     rows,
@@ -170,26 +183,46 @@ func postBatch(addr, id string, cols []string, rows [][]json.RawMessage) error {
 	if err != nil {
 		return err
 	}
-	for attempt := 0; ; attempt++ {
+	backoff := ingestBackoff
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(jitterDelay(backoff))
+			backoff *= 2
+		}
 		resp, err := http.Post(strings.TrimRight(addr, "/")+"/v1/ingest", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return err
+			lastErr = err
+			continue
 		}
 		out, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			return nil
-		case resp.StatusCode == http.StatusServiceUnavailable && attempt < 10:
-			retry := time.Second
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("%s: %s", resp.Status, out)
+			// The server knows how loaded it is; let its hint replace the
+			// next doubling step.
 			if s := resp.Header.Get("Retry-After"); s != "" {
 				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
-					retry = time.Duration(secs) * time.Second
+					backoff = time.Duration(secs) * time.Second
 				}
 			}
-			time.Sleep(retry)
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("%s: %s", resp.Status, out)
 		default:
 			return fmt.Errorf("POST /v1/ingest (batch %s): %s: %s", id, resp.Status, out)
 		}
 	}
+	return fmt.Errorf("POST /v1/ingest (batch %s): giving up after %d attempts: %w", id, retries+1, lastErr)
+}
+
+// jitterDelay spreads a backoff uniformly over [d, 2d) so synchronized
+// clients (many aqpcli processes told to retry at once) desynchronise.
+func jitterDelay(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d + time.Duration(rand.Int63n(int64(d)))
 }

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastBackoff collapses the retry waits for the duration of one test.
+func fastBackoff(t *testing.T) {
+	t.Helper()
+	old := ingestBackoff
+	ingestBackoff = time.Millisecond
+	t.Cleanup(func() { ingestBackoff = old })
+}
+
+func sampleBatch() ([]string, [][]json.RawMessage) {
+	return []string{"region", "amount"},
+		[][]json.RawMessage{
+			{json.RawMessage(`"east"`), json.RawMessage(`7`)},
+			{json.RawMessage(`"west"`), json.RawMessage(`3`)},
+		}
+}
+
+// ingestServer records every /v1/ingest request's batch_id and answers with
+// the per-attempt status codes, then 200.
+type ingestServer struct {
+	srv      *httptest.Server
+	attempts atomic.Int64
+	ids      []string
+	statuses []int
+	headers  map[string]string
+}
+
+func newIngestServer(t *testing.T, statuses []int, headers map[string]string) *ingestServer {
+	t.Helper()
+	is := &ingestServer{statuses: statuses, headers: headers}
+	is.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(is.attempts.Add(1)) - 1
+		body, _ := io.ReadAll(r.Body)
+		var req struct {
+			BatchID string `json:"batch_id"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			t.Errorf("attempt %d: undecodable ingest body: %v", n, err)
+		}
+		is.ids = append(is.ids, req.BatchID)
+		if n < len(is.statuses) {
+			for k, v := range is.headers {
+				w.Header().Set(k, v)
+			}
+			w.WriteHeader(is.statuses[n])
+			return
+		}
+		w.Write([]byte(`{"appended":2}`))
+	}))
+	t.Cleanup(is.srv.Close)
+	return is
+}
+
+func (is *ingestServer) sameIDThroughout(t *testing.T, want string) {
+	t.Helper()
+	for i, id := range is.ids {
+		if id != want {
+			t.Errorf("attempt %d used batch_id %q, want %q on every retry", i, id, want)
+		}
+	}
+}
+
+func TestPostBatchRetries503ThenSucceeds(t *testing.T) {
+	fastBackoff(t)
+	is := newIngestServer(t, []int{503, 503}, nil)
+	cols, rows := sampleBatch()
+	if err := postBatch(is.srv.URL, "b-0", cols, rows, 5); err != nil {
+		t.Fatalf("postBatch: %v", err)
+	}
+	if got := is.attempts.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (two 503s then success)", got)
+	}
+	is.sameIDThroughout(t, "b-0")
+}
+
+func TestPostBatchRetries5xxAndTransportErrors(t *testing.T) {
+	fastBackoff(t)
+	is := newIngestServer(t, []int{500, 502}, nil)
+	cols, rows := sampleBatch()
+	if err := postBatch(is.srv.URL, "b-1", cols, rows, 5); err != nil {
+		t.Fatalf("postBatch after 5xx: %v", err)
+	}
+	if got := is.attempts.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+
+	// A connection that dies before any response is a transport error; the
+	// retry lands on a healthy server.
+	var killed atomic.Bool
+	healthy := newIngestServer(t, nil, nil)
+	killer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if killed.CompareAndSwap(false, true) {
+			hj := w.(http.Hijacker)
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+			return
+		}
+		// Relay to the healthy backend after the one killed connection.
+		healthy.srv.Config.Handler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(killer.Close)
+	if err := postBatch(killer.URL, "b-2", cols, rows, 3); err != nil {
+		t.Fatalf("postBatch after killed connection: %v", err)
+	}
+	if !killed.Load() {
+		t.Fatal("kill path never exercised")
+	}
+}
+
+func TestPostBatchGivesUpAfterBound(t *testing.T) {
+	fastBackoff(t)
+	always := make([]int, 100)
+	for i := range always {
+		always[i] = 503
+	}
+	is := newIngestServer(t, always, nil)
+	cols, rows := sampleBatch()
+	err := postBatch(is.srv.URL, "b-3", cols, rows, 2)
+	if err == nil {
+		t.Fatal("postBatch succeeded against a permanently overloaded server")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Errorf("error %q does not mention the attempt bound", err)
+	}
+	if got := is.attempts.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want exactly retries+1 = 3", got)
+	}
+	is.sameIDThroughout(t, "b-3")
+}
+
+func TestPostBatchDoesNotRetryClientErrors(t *testing.T) {
+	fastBackoff(t)
+	is := newIngestServer(t, []int{400}, nil)
+	cols, rows := sampleBatch()
+	if err := postBatch(is.srv.URL, "b-4", cols, rows, 5); err == nil {
+		t.Fatal("postBatch swallowed a 400")
+	}
+	if got := is.attempts.Load(); got != 1 {
+		t.Errorf("server saw %d attempts for a 400, want 1 (client errors are not transient)", got)
+	}
+}
+
+func TestPostBatchHonorsRetryAfter(t *testing.T) {
+	fastBackoff(t)
+	is := newIngestServer(t, []int{503}, map[string]string{"Retry-After": "1"})
+	cols, rows := sampleBatch()
+	start := time.Now()
+	if err := postBatch(is.srv.URL, "b-5", cols, rows, 2); err != nil {
+		t.Fatalf("postBatch: %v", err)
+	}
+	// jitterDelay spreads the 1s hint over [1s, 2s); with the local backoff
+	// collapsed to 1ms, any wait near a second proves the hint was used.
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retried after %v, want >= the server's 1s Retry-After hint", elapsed)
+	}
+}
+
+func TestJitterDelayEnvelope(t *testing.T) {
+	d := 10 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		got := jitterDelay(d)
+		if got < d || got >= 2*d {
+			t.Fatalf("jitterDelay(%v) = %v, want in [%v, %v)", d, got, d, 2*d)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 2 {
+		t.Error("jitterDelay produced no variation over 200 draws")
+	}
+	if got := jitterDelay(0); got != 0 {
+		t.Errorf("jitterDelay(0) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dynsample/internal/cluster"
+	"dynsample/internal/server"
+)
+
+// coordinatorConfig carries the -coordinator flag group from main.
+type coordinatorConfig struct {
+	addr             string
+	shardAddrs       string
+	shardTimeout     time.Duration
+	shardRetries     int
+	hedgeAfter       time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	drainTimeout     time.Duration
+}
+
+// runCoordinator is aqpd's -coordinator mode: no local data, no
+// pre-processing — just the scatter-gather tier over the configured shards.
+// Shards that are down at startup are admitted later by the breakers'
+// half-open probe loop (or immediately via POST /v1/admin/probe), so the
+// coordinator never refuses to start because of a dead shard.
+func runCoordinator(cfg coordinatorConfig) {
+	var addrs []string
+	for _, a := range strings.Split(cfg.shardAddrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("-coordinator needs -shard-addrs (comma-separated shard base URLs, in shard-id order)"))
+	}
+	co, err := cluster.New(cluster.Config{
+		ShardAddrs:       addrs,
+		DefaultTimeout:   cfg.shardTimeout,
+		Retries:          cfg.shardRetries,
+		HedgeAfterMin:    cfg.hedgeAfter,
+		BreakerThreshold: cfg.breakerThreshold,
+		ProbeBackoff:     cfg.breakerCooldown,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer co.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	joinCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	joined := co.Join(joinCtx)
+	cancel()
+	if joined < len(addrs) {
+		fmt.Fprintf(os.Stderr, "aqpd: coordinator joined %d of %d shards; the rest are probed in the background\n",
+			joined, len(addrs))
+	} else {
+		fmt.Fprintf(os.Stderr, "aqpd: coordinator joined all %d shards\n", joined)
+	}
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           co.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeoutFor(cfg.shardTimeout),
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "aqpd coordinator listening on %s (%d shards)\n", ln.Addr(), len(addrs))
+	err = server.Serve(ctx, srv, ln, cfg.drainTimeout)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "aqpd: signal received, draining in-flight requests...")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "aqpd: coordinator shutdown complete")
+}

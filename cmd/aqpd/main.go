@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"dynsample/internal/catalog"
+	"dynsample/internal/cluster"
 	"dynsample/internal/core"
 	"dynsample/internal/datagen"
 	"dynsample/internal/engine"
@@ -81,10 +82,44 @@ func main() {
 		driftBound   = flag.Float64("drift-bound", 1.0, "common-set drift level that triggers a background sample rebuild (negative disables the trigger)")
 		maxPending   = flag.Int("max-pending", 0, "max concurrently admitted ingest batches; excess is rejected with 503 + Retry-After (0 = default 64)")
 		scanRate     = flag.Float64("scan-rate", 0, "pin the bounded-query planner's latency model to this scan rate in rows/second; 0 learns the rate online from observed executions")
+
+		// Cluster topology. A shard is a normal aqpd that serves one stripe of
+		// the fact table; a coordinator holds no data and fans out to shards.
+		shardID          = flag.Int("shard-id", -1, "serve only stripe N of the fact table (requires -shards; shard mode)")
+		shards           = flag.Int("shards", 0, "total shard count the fact table is striped into (0 = not sharded)")
+		coordinator      = flag.Bool("coordinator", false, "run as a cluster coordinator over -shard-addrs instead of serving local data")
+		shardAddrs       = flag.String("shard-addrs", "", "comma-separated shard base URLs in shard-id order (coordinator mode)")
+		shardTimeout     = flag.Duration("shard-timeout", 10*time.Second, "coordinator: default whole-request deadline, retries and hedges included")
+		shardRetries     = flag.Int("shard-retries", 2, "coordinator: retries per shard sub-request on transient failures")
+		hedgeAfter       = flag.Duration("hedge-after", 10*time.Millisecond, "coordinator: minimum delay before hedging a slow shard (the p95 latency raises it)")
+		breakerThreshold = flag.Int("breaker-threshold", 3, "coordinator: consecutive shard failures that trip its circuit breaker")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 500*time.Millisecond, "coordinator: initial backoff before a tripped breaker's first half-open probe")
 	)
 	flag.Parse()
+	if *coordinator {
+		if *shards != 0 || *shardID != -1 {
+			fatal(fmt.Errorf("-coordinator is exclusive with -shards/-shard-id: a coordinator serves no stripe"))
+		}
+		if *shardRetries < 0 || *breakerThreshold < 1 || *shardTimeout < 0 || *hedgeAfter < 0 || *breakerCooldown < 0 {
+			fatal(fmt.Errorf("invalid coordinator flags: -shard-retries >= 0, -breaker-threshold >= 1, durations >= 0"))
+		}
+		runCoordinator(coordinatorConfig{
+			addr:             *addr,
+			shardAddrs:       *shardAddrs,
+			shardTimeout:     *shardTimeout,
+			shardRetries:     *shardRetries,
+			hedgeAfter:       *hedgeAfter,
+			breakerThreshold: *breakerThreshold,
+			breakerCooldown:  *breakerCooldown,
+			drainTimeout:     *drainTimeout,
+		})
+		return
+	}
 	// Fail fast on invalid parameters — before paying for data generation.
 	if err := validateFlags(*dbKind, *rate, *rows, *z, *workers, *queryTimeout, *maxInflight, *drainTimeout, *rebuildEvery, *slowlogSize, *maxPending, *scanRate); err != nil {
+		fatal(err)
+	}
+	if err := validateShardFlags(*shardID, *shards); err != nil {
 		fatal(err)
 	}
 
@@ -101,6 +136,17 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	// Shard mode: every shard regenerates the same deterministic base (same
+	// -db/-rows/-seed) and keeps only its contiguous stripe; pre-processing,
+	// the catalog, and the WAL below all operate on that stripe alone, so a
+	// shard needs its own -catalog-dir/-wal-dir.
+	if *shards > 0 {
+		if db, err = cluster.Stripe(db, *shardID, *shards); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "aqpd: serving shard %d of %d (%d rows of the stripe)\n",
+			*shardID, *shards, db.NumRows())
 	}
 
 	sys := core.NewSystem(db)
@@ -251,6 +297,8 @@ func main() {
 		DefaultTimeout: *queryTimeout,
 		MaxInflight:    *maxInflight,
 		SlowLogSize:    *slowlogSize,
+		ShardID:        *shardID,
+		Shards:         *shards,
 		Rebuild: server.RebuildConfig{
 			Strategy: strategy,
 			Catalog:  cat,
@@ -326,6 +374,23 @@ func inflightLabel(n int) string {
 		return "unlimited"
 	}
 	return fmt.Sprint(n)
+}
+
+// validateShardFlags checks the shard-mode pair: both or neither.
+func validateShardFlags(shardID, shards int) error {
+	if shards < 0 {
+		return fmt.Errorf("invalid -shards %d: must be >= 0 (0 = not sharded)", shards)
+	}
+	if shards == 0 {
+		if shardID != -1 {
+			return fmt.Errorf("-shard-id %d given without -shards", shardID)
+		}
+		return nil
+	}
+	if shardID < 0 || shardID >= shards {
+		return fmt.Errorf("invalid -shard-id %d: must be in [0, %d) with -shards %d", shardID, shards, shards)
+	}
+	return nil
 }
 
 // validateFlags rejects out-of-range parameters with actionable messages.

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"testing"
+
+	"dynsample/internal/engine"
+)
+
+// stripeDB builds an intentionally awkward row count (not divisible by the
+// shard counts under test) with integer measures, so partition sums must
+// reproduce the single-table answer bit-for-bit.
+func stripeDB(t *testing.T, rows int) *engine.Database {
+	t.Helper()
+	cat := engine.NewColumn("cat", engine.String)
+	qty := engine.NewColumn("qty", engine.Int)
+	fact := engine.NewTable("orders", cat, qty)
+	for i := 0; i < rows; i++ {
+		cat.AppendString(string(rune('a' + i%5)))
+		qty.AppendInt(int64(i%13 + 1))
+		fact.EndRow()
+	}
+	return engine.MustNewDatabase("ordersdb", fact)
+}
+
+func TestStripePartitionsDisjointAndExhaustive(t *testing.T) {
+	const rows = 103
+	db := stripeDB(t, rows)
+	q := &engine.Query{
+		GroupBy: []string{"cat"},
+		Aggs:    []engine.Aggregate{{Kind: engine.Count}, {Kind: engine.Sum, Col: "qty"}},
+	}
+	whole, err := engine.ExecuteExact(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 7} {
+		total := 0
+		merged := engine.NewResult(q.GroupBy, q.Aggs)
+		for id := 0; id < shards; id++ {
+			striped, err := Stripe(db, id, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if striped.Name != db.Name {
+				t.Fatalf("stripe renamed the database: %q", striped.Name)
+			}
+			n := striped.NumRows()
+			if lo, hi := rows/shards, rows/shards+1; n < lo || n > hi {
+				t.Errorf("shards=%d id=%d: %d rows, want %d or %d (near-equal stripes)",
+					shards, id, n, lo, hi)
+			}
+			total += n
+			part, err := engine.ExecuteExact(striped, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := merged.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if total != rows {
+			t.Errorf("shards=%d: stripes cover %d rows, want %d", shards, total, rows)
+		}
+		// Integer measures: the merged partition answers must equal the
+		// whole-table answers exactly, per group and per aggregate.
+		if merged.NumGroups() != whole.NumGroups() {
+			t.Fatalf("shards=%d: merged has %d groups, whole has %d",
+				shards, merged.NumGroups(), whole.NumGroups())
+		}
+		for _, k := range whole.Keys() {
+			wg, mg := whole.Group(k), merged.Group(k)
+			if mg == nil {
+				t.Fatalf("shards=%d: group %v missing after merge", shards, wg.Key)
+			}
+			for a := range wg.Vals {
+				if wg.Vals[a] != mg.Vals[a] {
+					t.Errorf("shards=%d group %v agg %d: merged %v != whole %v",
+						shards, wg.Key, a, mg.Vals[a], wg.Vals[a])
+				}
+			}
+		}
+	}
+}
+
+func TestStripeRejectsBadSlots(t *testing.T) {
+	db := stripeDB(t, 10)
+	for _, tc := range []struct{ id, shards int }{
+		{-1, 4}, {4, 4}, {0, 0}, {0, -2},
+	} {
+		if _, err := Stripe(db, tc.id, tc.shards); err == nil {
+			t.Errorf("Stripe(id=%d, shards=%d) succeeded, want error", tc.id, tc.shards)
+		}
+	}
+}
+
+func TestStripeSingleShardIsIdentity(t *testing.T) {
+	db := stripeDB(t, 50)
+	striped, err := Stripe(db, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if striped.NumRows() != db.NumRows() {
+		t.Fatalf("1-way stripe has %d rows, want %d", striped.NumRows(), db.NumRows())
+	}
+}

@@ -125,6 +125,14 @@ func (r *Result) Merge(other *Result) error {
 	if len(r.Aggs) != len(other.Aggs) {
 		return fmt.Errorf("engine: merging results with %d vs %d aggregates", len(r.Aggs), len(other.Aggs))
 	}
+	if len(r.GroupBy) != len(other.GroupBy) {
+		return fmt.Errorf("engine: merging results grouped by %d vs %d columns", len(r.GroupBy), len(other.GroupBy))
+	}
+	for i := range r.GroupBy {
+		if r.GroupBy[i] != other.GroupBy[i] {
+			return fmt.Errorf("engine: merging results grouped by %v vs %v", r.GroupBy, other.GroupBy)
+		}
+	}
 	for k, og := range other.groups {
 		g, ok := r.groups[k]
 		if !ok {

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file defines the JSON wire form of a partial Result, so the
+// scatter-gather cluster tier can move raw per-group accumulators — not just
+// presented values — between a shard server and the coordinator. The
+// coordinator re-merges decoded partials with Result.Merge, which requires
+// every additive accumulator (Vals, RawSum, RawSumSq, VarAcc, RawRows) and
+// the Exact flags, none of which survive the human-facing response shape.
+
+// ValueWire is the JSON form of one typed Value. T is the Type; exactly one
+// of I/F/S is meaningful, matching the type.
+type ValueWire struct {
+	T uint8   `json:"t"`
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+}
+
+// wireValue converts a Value to its wire form.
+func wireValue(v Value) ValueWire {
+	return ValueWire{T: uint8(v.T), I: v.I, F: v.F, S: v.S}
+}
+
+// value converts back to a Value, validating the type tag.
+func (w ValueWire) value() (Value, error) {
+	switch Type(w.T) {
+	case Int:
+		return IntVal(w.I), nil
+	case Float:
+		return FloatVal(w.F), nil
+	case String:
+		return StringVal(w.S), nil
+	default:
+		return Value{}, fmt.Errorf("engine: wire value has unknown type tag %d", w.T)
+	}
+}
+
+// AggWire is the JSON form of one Aggregate.
+type AggWire struct {
+	Kind uint8  `json:"kind"`
+	Col  string `json:"col,omitempty"`
+}
+
+// GroupWire is the JSON form of one Group with all its additive
+// accumulators.
+type GroupWire struct {
+	Key      []ValueWire `json:"key"`
+	Vals     []float64   `json:"vals"`
+	RawRows  int64       `json:"rawRows"`
+	RawSum   []float64   `json:"rawSum"`
+	RawSumSq []float64   `json:"rawSumSq"`
+	VarAcc   []float64   `json:"varAcc"`
+	Exact    bool        `json:"exact,omitempty"`
+}
+
+// ResultWire is the JSON form of a partial Result. Groups are emitted in
+// deterministic key order so equal results serialize identically.
+type ResultWire struct {
+	GroupBy     []string    `json:"groupBy"`
+	Aggs        []AggWire   `json:"aggs"`
+	Groups      []GroupWire `json:"groups"`
+	RowsScanned int64       `json:"rowsScanned"`
+	RowsMatched int64       `json:"rowsMatched"`
+}
+
+// Wire converts the result to its wire form.
+func (r *Result) Wire() *ResultWire {
+	w := &ResultWire{
+		GroupBy:     r.GroupBy,
+		RowsScanned: r.RowsScanned,
+		RowsMatched: r.RowsMatched,
+	}
+	for _, a := range r.Aggs {
+		w.Aggs = append(w.Aggs, AggWire{Kind: uint8(a.Kind), Col: a.Col})
+	}
+	for _, g := range r.Groups() {
+		gw := GroupWire{
+			Vals:     g.Vals,
+			RawRows:  g.RawRows,
+			RawSum:   g.RawSum,
+			RawSumSq: g.RawSumSq,
+			VarAcc:   g.VarAcc,
+			Exact:    g.Exact,
+		}
+		for _, v := range g.Key {
+			gw.Key = append(gw.Key, wireValue(v))
+		}
+		w.Groups = append(w.Groups, gw)
+	}
+	return w
+}
+
+// maxWireGroups bounds how many groups one decoded partial may carry, so a
+// corrupt or hostile length cannot make the coordinator allocate unboundedly.
+const maxWireGroups = 1 << 22
+
+// ResultFromWire validates and rebuilds a Result from its wire form. The
+// bytes cross a network, so every shape invariant is checked: a truncated or
+// corrupted payload must produce an error here, never a malformed Result
+// that Merge would silently mis-combine.
+func ResultFromWire(w *ResultWire) (*Result, error) {
+	if w == nil {
+		return nil, fmt.Errorf("engine: nil wire result")
+	}
+	if len(w.Groups) > maxWireGroups {
+		return nil, fmt.Errorf("engine: wire result has %d groups (max %d)", len(w.Groups), maxWireGroups)
+	}
+	if w.RowsScanned < 0 || w.RowsMatched < 0 {
+		return nil, fmt.Errorf("engine: wire result has negative row counts (%d scanned, %d matched)",
+			w.RowsScanned, w.RowsMatched)
+	}
+	aggs := make([]Aggregate, len(w.Aggs))
+	for i, a := range w.Aggs {
+		if AggKind(a.Kind) != Count && AggKind(a.Kind) != Sum {
+			return nil, fmt.Errorf("engine: wire aggregate %d has unknown kind %d", i, a.Kind)
+		}
+		aggs[i] = Aggregate{Kind: AggKind(a.Kind), Col: a.Col}
+	}
+	res := NewResult(append([]string(nil), w.GroupBy...), aggs)
+	res.RowsScanned = w.RowsScanned
+	res.RowsMatched = w.RowsMatched
+	for gi, gw := range w.Groups {
+		if len(gw.Key) != len(w.GroupBy) {
+			return nil, fmt.Errorf("engine: wire group %d has %d key values, query groups by %d columns",
+				gi, len(gw.Key), len(w.GroupBy))
+		}
+		if len(gw.Vals) != len(aggs) || len(gw.RawSum) != len(aggs) ||
+			len(gw.RawSumSq) != len(aggs) || len(gw.VarAcc) != len(aggs) {
+			return nil, fmt.Errorf("engine: wire group %d accumulator lengths (%d/%d/%d/%d) do not match %d aggregates",
+				gi, len(gw.Vals), len(gw.RawSum), len(gw.RawSumSq), len(gw.VarAcc), len(aggs))
+		}
+		if gw.RawRows < 0 {
+			return nil, fmt.Errorf("engine: wire group %d has negative raw row count %d", gi, gw.RawRows)
+		}
+		for _, vs := range [][]float64{gw.Vals, gw.RawSum, gw.RawSumSq, gw.VarAcc} {
+			for _, v := range vs {
+				if math.IsNaN(v) {
+					return nil, fmt.Errorf("engine: wire group %d carries NaN accumulators", gi)
+				}
+			}
+		}
+		key := make([]Value, len(gw.Key))
+		for i, vw := range gw.Key {
+			v, err := vw.value()
+			if err != nil {
+				return nil, fmt.Errorf("engine: wire group %d: %w", gi, err)
+			}
+			key[i] = v
+		}
+		ek := EncodeKey(key)
+		if res.Group(ek) != nil {
+			return nil, fmt.Errorf("engine: wire result repeats group %v", key)
+		}
+		g := res.Upsert(ek, func() []Value { return key })
+		copy(g.Vals, gw.Vals)
+		copy(g.RawSum, gw.RawSum)
+		copy(g.RawSumSq, gw.RawSumSq)
+		copy(g.VarAcc, gw.VarAcc)
+		g.RawRows = gw.RawRows
+		g.Exact = gw.Exact
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// wireTestResult builds a small result with every accumulator populated and
+// a mixed-type group key (string, int, float).
+func wireTestResult(t *testing.T) *Result {
+	t.Helper()
+	res := NewResult([]string{"region", "tier", "rate"},
+		[]Aggregate{{Kind: Count}, {Kind: Sum, Col: "amount"}})
+	for i, row := range []struct {
+		region string
+		tier   int64
+		rate   float64
+		exact  bool
+	}{
+		{"west", 1, 0.25, false},
+		{"east", 2, 0.5, true},
+		{"", 0, -1.5, false}, // empty string and zero values must survive omitempty
+	} {
+		key := []Value{StringVal(row.region), IntVal(row.tier), FloatVal(row.rate)}
+		g := res.Upsert(EncodeKey(key), func() []Value { return key })
+		g.Vals = []float64{float64(10 * (i + 1)), float64(100 * (i + 1))}
+		g.RawRows = int64(i + 1)
+		g.RawSum = []float64{float64(i + 1), float64(7 * (i + 1))}
+		g.RawSumSq = []float64{float64(i + 1), float64(49 * (i + 1))}
+		g.VarAcc = []float64{0.5 * float64(i), 1.5 * float64(i)}
+		g.Exact = row.exact
+	}
+	res.RowsScanned = 42
+	res.RowsMatched = 17
+	return res
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	res := wireTestResult(t)
+	raw, err := json.Marshal(res.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w ResultWire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResultFromWire(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowsScanned != res.RowsScanned || got.RowsMatched != res.RowsMatched {
+		t.Errorf("row counts = %d/%d, want %d/%d",
+			got.RowsScanned, got.RowsMatched, res.RowsScanned, res.RowsMatched)
+	}
+	if got.NumGroups() != res.NumGroups() {
+		t.Fatalf("groups = %d, want %d", got.NumGroups(), res.NumGroups())
+	}
+	for _, k := range res.Keys() {
+		want := res.Group(k)
+		g := got.Group(k)
+		if g == nil {
+			t.Fatalf("group %q lost in round trip", k)
+		}
+		if g.RawRows != want.RawRows || g.Exact != want.Exact {
+			t.Errorf("group %q: rawRows/exact = %d/%v, want %d/%v",
+				k, g.RawRows, g.Exact, want.RawRows, want.Exact)
+		}
+		for i := range want.Vals {
+			if g.Vals[i] != want.Vals[i] || g.RawSum[i] != want.RawSum[i] ||
+				g.RawSumSq[i] != want.RawSumSq[i] || g.VarAcc[i] != want.VarAcc[i] {
+				t.Errorf("group %q agg %d accumulators differ", k, i)
+			}
+		}
+	}
+	// A round-tripped partial must be mergeable with the original shape.
+	if err := res.Merge(got); err != nil {
+		t.Errorf("merging round-tripped result: %v", err)
+	}
+}
+
+func TestWireDeterministicEncoding(t *testing.T) {
+	a, _ := json.Marshal(wireTestResult(t).Wire())
+	b, _ := json.Marshal(wireTestResult(t).Wire())
+	if string(a) != string(b) {
+		t.Error("wire encoding is not deterministic across equal results")
+	}
+}
+
+// TestWireRejectsHostileInput feeds shape-violating payloads to
+// ResultFromWire; each must error, never panic or yield a Result that Merge
+// would mis-combine.
+func TestWireRejectsHostileInput(t *testing.T) {
+	base := func() *ResultWire { return wireTestResult(t).Wire() }
+	cases := []struct {
+		name string
+		mut  func(*ResultWire)
+		want string
+	}{
+		{"short key", func(w *ResultWire) { w.Groups[0].Key = w.Groups[0].Key[:1] }, "key values"},
+		{"long key", func(w *ResultWire) {
+			w.Groups[0].Key = append(w.Groups[0].Key, ValueWire{T: uint8(Int), I: 9})
+		}, "key values"},
+		{"short vals", func(w *ResultWire) { w.Groups[1].Vals = w.Groups[1].Vals[:1] }, "accumulator lengths"},
+		{"short varacc", func(w *ResultWire) { w.Groups[1].VarAcc = nil }, "accumulator lengths"},
+		{"bad value tag", func(w *ResultWire) { w.Groups[0].Key[0].T = 99 }, "unknown type tag"},
+		{"bad agg kind", func(w *ResultWire) { w.Aggs[1].Kind = 200 }, "unknown kind"},
+		{"negative raw rows", func(w *ResultWire) { w.Groups[0].RawRows = -5 }, "negative raw row"},
+		{"negative scanned", func(w *ResultWire) { w.RowsScanned = -1 }, "negative row counts"},
+		{"nan accumulator", func(w *ResultWire) { w.Groups[0].RawSumSq[0] = math.NaN() }, "NaN"},
+		{"duplicate group", func(w *ResultWire) { w.Groups = append(w.Groups, w.Groups[0]) }, "repeats group"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := base()
+			tc.mut(w)
+			_, err := ResultFromWire(w)
+			if err == nil {
+				t.Fatal("hostile wire payload accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := ResultFromWire(nil); err == nil {
+		t.Error("nil wire result accepted")
+	}
+}
+
+func TestMergeRejectsMismatchedGroupBy(t *testing.T) {
+	a := NewResult([]string{"region"}, []Aggregate{{Kind: Count}})
+	b := NewResult([]string{"region", "tier"}, []Aggregate{{Kind: Count}})
+	if err := a.Merge(b); err == nil {
+		t.Error("merge across different group-by arity accepted")
+	}
+	c := NewResult([]string{"city"}, []Aggregate{{Kind: Count}})
+	if err := a.Merge(c); err == nil {
+		t.Error("merge across different group-by columns accepted")
+	}
+	d := NewResult([]string{"region"}, []Aggregate{{Kind: Count}})
+	if err := a.Merge(d); err != nil {
+		t.Errorf("merge of matching shapes rejected: %v", err)
+	}
+}

@@ -86,6 +86,26 @@ const (
 	// deleted; an injected error aborts the garbage collection mid-way,
 	// simulating a crash between the checkpoint and the segment deletions.
 	PointWALGC Point = "ingest.wal-gc"
+
+	// Network fault points for the scatter-gather cluster tier. The request
+	// point takes a Hook (a sleeping hook makes a slow shard, a blocking one
+	// a stuck shard); the transport point takes an ErrHook fired in the
+	// coordinator's client before each attempt (a returned error is treated
+	// as a connection failure, making a flaky or dead shard); the body point
+	// takes a CutHook that may truncate a shard response mid-stream.
+
+	// PointShardRequest fires in the shard server's query handler before the
+	// query executes, on the request goroutine. i is the shard id.
+	PointShardRequest Point = "cluster.shard-request"
+	// PointShardTransport fires in the coordinator's shard client before
+	// each HTTP attempt; a returned error is surfaced as a transport
+	// failure without touching the network. i is the shard id.
+	PointShardTransport Point = "cluster.shard-transport"
+	// PointShardBody fires in the shard server with the length of the
+	// response body about to be written; a CutHook returning m < n makes the
+	// server write only the first m bytes — a byte-truncated response the
+	// coordinator's decoder must reject. i is the shard id.
+	PointShardBody Point = "cluster.shard-body"
 )
 
 // Hook is an injected fault. ctx is the execution context of the hook site
@@ -105,12 +125,18 @@ type ErrHook func(i int) error
 // the chunk index.
 type DataHook func(i int, b []byte)
 
+// CutHook decides how many of the n bytes about to be written actually are:
+// returning m in [0, n) truncates the write after m bytes, n (or more)
+// leaves it intact. i is the shard or attempt index.
+type CutHook func(i, n int) int
+
 var (
 	active    atomic.Bool
 	mu        sync.Mutex
 	hooks     map[Point]Hook
 	errHooks  map[Point]ErrHook
 	dataHooks map[Point]DataHook
+	cutHooks  map[Point]CutHook
 )
 
 // Active reports whether any hook is registered. Hook sites use it (via
@@ -150,6 +176,17 @@ func SetData(p Point, h DataHook) {
 	active.Store(true)
 }
 
+// SetCut registers the cut hook for a point, replacing any previous one.
+func SetCut(p Point, h CutHook) {
+	mu.Lock()
+	defer mu.Unlock()
+	if cutHooks == nil {
+		cutHooks = make(map[Point]CutHook)
+	}
+	cutHooks[p] = h
+	active.Store(true)
+}
+
 // Reset removes every registered hook, returning Fire to its no-op fast
 // path. Call it from t.Cleanup in every test that uses Set.
 func Reset() {
@@ -158,6 +195,7 @@ func Reset() {
 	hooks = nil
 	errHooks = nil
 	dataHooks = nil
+	cutHooks = nil
 	active.Store(false)
 }
 
@@ -204,6 +242,29 @@ func FireData(p Point, i int, b []byte) {
 	}
 }
 
+// FireCut runs the cut hook registered for p over a write of n bytes,
+// returning how many bytes should actually be written (clamped to [0, n]).
+// With no hooks registered it is a single atomic load and returns n.
+func FireCut(p Point, i, n int) int {
+	if !active.Load() {
+		return n
+	}
+	mu.Lock()
+	h := cutHooks[p]
+	mu.Unlock()
+	if h == nil {
+		return n
+	}
+	m := h(i, n)
+	if m < 0 {
+		return 0
+	}
+	if m > n {
+		return n
+	}
+	return m
+}
+
 // FailNth returns an error hook that succeeds until the n-th firing
 // (0-based) and then returns err on that and every later call — a
 // deterministic "disk fails partway through".
@@ -214,6 +275,31 @@ func FailNth(n int, err error) ErrHook {
 			return err
 		}
 		return nil
+	}
+}
+
+// FailUntilNth returns an error hook that returns err for the first n
+// firings (0-based) and succeeds from then on — a deterministic "flaky
+// shard" whose first connections fail but whose retries succeed.
+func FailUntilNth(n int, err error) ErrHook {
+	var calls atomic.Int64
+	return func(int) error {
+		if calls.Add(1)-1 < int64(n) {
+			return err
+		}
+		return nil
+	}
+}
+
+// CutAfter returns a cut hook that truncates the n-th fired write (0-based)
+// to keep bytes, leaving other writes intact.
+func CutAfter(n, keep int) CutHook {
+	var calls atomic.Int64
+	return func(_, size int) int {
+		if calls.Add(1)-1 != int64(n) {
+			return size
+		}
+		return keep
 	}
 }
 

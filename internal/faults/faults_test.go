@@ -102,6 +102,48 @@ func TestErrAndDataHooks(t *testing.T) {
 	}
 }
 
+func TestCutHooks(t *testing.T) {
+	t.Cleanup(Reset)
+	if n := FireCut(PointShardBody, 0, 100); n != 100 {
+		t.Fatalf("FireCut with no hook = %d, want 100", n)
+	}
+	SetCut(PointShardBody, CutAfter(1, 7))
+	if n := FireCut(PointShardBody, 0, 100); n != 100 {
+		t.Fatalf("CutAfter(1) truncated write 0 to %d", n)
+	}
+	if n := FireCut(PointShardBody, 0, 100); n != 7 {
+		t.Fatalf("CutAfter(1, 7) on write 1 = %d, want 7", n)
+	}
+	if n := FireCut(PointShardBody, 0, 100); n != 100 {
+		t.Fatalf("CutAfter(1) truncated write 2 to %d", n)
+	}
+	// Out-of-range hook returns are clamped into [0, n].
+	SetCut(PointShardBody, func(_, n int) int { return n + 50 })
+	if n := FireCut(PointShardBody, 0, 10); n != 10 {
+		t.Fatalf("over-long cut = %d, want clamp to 10", n)
+	}
+	SetCut(PointShardBody, func(_, _ int) int { return -3 })
+	if n := FireCut(PointShardBody, 0, 10); n != 0 {
+		t.Fatalf("negative cut = %d, want clamp to 0", n)
+	}
+}
+
+func TestFailUntilNth(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := context.DeadlineExceeded
+	h := FailUntilNth(2, boom)
+	for i := 0; i < 2; i++ {
+		if err := h(i); err != boom {
+			t.Fatalf("call %d = %v, want %v", i, err, boom)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if err := h(i); err != nil {
+			t.Fatalf("call %d = %v, want success after n failures", i, err)
+		}
+	}
+}
+
 func TestPanicHook(t *testing.T) {
 	t.Cleanup(Reset)
 	defer func() {

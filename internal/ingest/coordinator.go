@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -409,12 +410,13 @@ func (c *Coordinator) enterDegraded(cause error) {
 	}
 }
 
-// probeLoop retries the WAL with bounded doubling backoff until a probe
-// succeeds (ingest resumes) or the coordinator is closed.
+// probeLoop retries the WAL with bounded, jittered doubling backoff until a
+// probe succeeds (ingest resumes) or the coordinator is closed.
 func (c *Coordinator) probeLoop() {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	backoff := c.cfg.ProbeBackoff
 	for {
-		t := time.NewTimer(backoff)
+		t := time.NewTimer(jitterBackoff(rng, backoff))
 		select {
 		case <-c.stop:
 			t.Stop()
@@ -429,6 +431,20 @@ func (c *Coordinator) probeLoop() {
 			backoff = c.cfg.ProbeBackoffMax
 		}
 	}
+}
+
+// jitterBackoff draws a wait uniformly from [d/2, d]. Pure doubling from a
+// shared ProbeBackoff default synchronizes the probes of every degraded
+// process sharing a disk (they all trip on the same fault at the same
+// moment), so the recovered disk takes the whole herd's probes at once;
+// the jitter decorrelates them while keeping the wait within a factor of
+// two of the schedule.
+func jitterBackoff(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(d-half)+1))
 }
 
 // ProbeNow attempts to clear degraded mode immediately: it asks the WAL to

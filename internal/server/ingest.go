@@ -111,28 +111,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Drift:             st.Drift,
 		})
 	case errors.Is(err, ingest.ErrOverloaded):
-		retry := s.cfg.RetryAfter
-		if retry <= 0 {
-			retry = time.Second
-		}
-		secs := int(retry.Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
+		secs := retryAfterSecs(s.cfg.RetryAfter, time.Second)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeErrorRetry(w, http.StatusServiceUnavailable, CodeOverloaded, int64(secs)*1000, err)
 	case errors.Is(err, ingest.ErrDegraded):
 		// A disk fault put ingest into read-only mode. Queries still serve
 		// and the coordinator is re-probing the disk on its own, so this is
 		// a retryable 503, not a 500: keep the batch and try again.
-		retry := s.cfg.RetryAfter
-		if retry <= 0 {
-			retry = 5 * time.Second
-		}
-		secs := int(retry.Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
+		secs := retryAfterSecs(s.cfg.RetryAfter, 5*time.Second)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeErrorRetry(w, http.StatusServiceUnavailable, CodeIngestDegraded, int64(secs)*1000, err)
 	case errors.Is(err, ingest.ErrUnavailable):

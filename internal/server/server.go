@@ -82,6 +82,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -126,6 +127,13 @@ type Config struct {
 	// configured, the coordinator's drift trigger is pointed at this server's
 	// background rebuild.
 	Ingest *ingest.Coordinator
+	// Shards > 0 puts the server in cluster shard mode: it serves one
+	// partition of the fact table (stripe ShardID of Shards) and additionally
+	// exposes GET /shard, the join summary a cluster coordinator fetches to
+	// register this shard (see internal/cluster). ShardID must then be in
+	// [0, Shards).
+	Shards  int
+	ShardID int
 }
 
 // Server routes HTTP requests to a core.System. Configuration fields are
@@ -140,6 +148,7 @@ type Server struct {
 	inflight chan struct{} // admission semaphore; nil = unlimited
 	slowlog  *obs.SlowLog
 	health   healthState
+	shard    shardSummary // generation-keyed GET /shard cache (shard mode)
 }
 
 // New returns a server over sys. The zero Config is valid: it serves the
@@ -206,6 +215,12 @@ type QueryRequest struct {
 	// intervals are stated at, in (0, 1). Zero means the server's configured
 	// level (default 0.95). Requires error_bound or time_bound_ms.
 	Confidence float64 `json:"confidence,omitempty"`
+	// Raw asks for the answer as raw merge-ready accumulators
+	// (RawQueryResponse wrapping engine.ResultWire) instead of presented
+	// groups. This is the shard-side wire format of the scatter-gather tier:
+	// the coordinator needs every additive accumulator to re-merge shard
+	// partials with Result.Merge, which the presented groups do not carry.
+	Raw bool `json:"raw,omitempty"`
 }
 
 // bounded reports whether the request asks for planner bounds.
@@ -244,6 +259,14 @@ type QueryResponse struct {
 	// Achieved is the realized error estimate, derived from the answer's
 	// confidence intervals; set on bounded queries.
 	Achieved *float64 `json:"achieved,omitempty"`
+	// Partial is set by a cluster coordinator when one or more shards did
+	// not contribute to this answer; the estimates cover only the surviving
+	// shards and Predicted/Achieved are widened accordingly. Single-process
+	// servers never set it.
+	Partial bool `json:"partial,omitempty"`
+	// MissingShards lists the shard ids that did not contribute when Partial
+	// is set.
+	MissingShards []int `json:"missing_shards,omitempty"`
 	// Trace is the pipeline trace, returned when the request set
 	// "explain": true.
 	Trace *obs.TraceData `json:"trace,omitempty"`
@@ -306,6 +329,9 @@ func (s *Server) Handler() http.Handler {
 	versioned("GET /strategies", s.handleStrategies)
 	versioned("POST /admin/rebuild", s.handleRebuild)
 	versioned("POST /ingest", s.handleIngest)
+	if s.cfg.Shards > 0 {
+		versioned("GET /shard", s.handleShard)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", obs.Handler(obs.Default()))
@@ -393,17 +419,27 @@ func (s *Server) admit(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) shed(w http.ResponseWriter, endpoint string) {
 	obsShed.Inc()
 	obsQueries.With(endpoint, s.strategy, "shed").Inc()
-	retry := s.cfg.RetryAfter
+	secs := retryAfterSecs(s.cfg.RetryAfter, time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErrorRetry(w, http.StatusServiceUnavailable, CodeOverloaded, int64(secs)*1000,
+		fmt.Errorf("server at max in-flight queries (%d); retry after %ds", s.cfg.MaxInflight, secs))
+}
+
+// retryAfterSecs converts a configured Retry-After hint (falling back when
+// unset) to whole seconds and adds jitter in [secs, 2·secs]. Without jitter
+// every client rejected in the same overload spike retries in the same
+// second and re-creates the spike; the spread halves the synchronized
+// retry rate at the cost of at most doubling one client's wait.
+func retryAfterSecs(configured, fallback time.Duration) int {
+	retry := configured
 	if retry <= 0 {
-		retry = time.Second
+		retry = fallback
 	}
 	secs := int(retry.Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeErrorRetry(w, http.StatusServiceUnavailable, CodeOverloaded, int64(secs)*1000,
-		fmt.Errorf("server at max in-flight queries (%d); retry after %ds", s.cfg.MaxInflight, secs))
+	return secs + rand.Intn(secs+1)
 }
 
 // reqTrack carries the observability record of one /query or /exact request
@@ -535,6 +571,9 @@ func writeExecErr(w http.ResponseWriter, r *http.Request, err error) (status str
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	faults.Fire(r.Context(), faults.PointHandler, 0)
+	if s.cfg.Shards > 0 {
+		faults.Fire(r.Context(), faults.PointShardRequest, s.cfg.ShardID)
+	}
 	rt := s.begin(r, "query")
 	rt.trace.SetStrategy(s.strategy)
 	compiled, req, ok := s.compile(rt, w, r)
@@ -562,6 +601,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			rt.status = writeExecErr(w, r, err)
 		}
 		rt.finish()
+		return
+	}
+	if req.Raw {
+		raw := RawQueryResponse{
+			Result:     ans.Result.Wire(),
+			RowsRead:   ans.RowsRead,
+			ElapsedUS:  ans.Elapsed.Microseconds(),
+			Generation: gen,
+			Degraded:   ans.Degraded,
+		}
+		if d := ans.Plan; d != nil {
+			predicted, achieved := d.Chosen.PredictedError, d.AchievedError
+			raw.Plan = d.Chosen.Name
+			raw.Predicted, raw.Achieved = &predicted, &achieved
+		}
+		rt.status, rt.rowsRead = "ok", ans.RowsRead
+		rt.finish()
+		s.writeShardJSON(w, raw)
 		return
 	}
 	endStage := rt.trace.StartStage("present")
@@ -652,6 +709,19 @@ func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		rt.status = writeExecErr(w, r, err)
 		rt.finish()
+		return
+	}
+	if req.Raw {
+		raw := RawQueryResponse{
+			Result:     res.Wire(),
+			RowsRead:   res.RowsScanned,
+			ElapsedUS:  elapsed.Microseconds(),
+			Generation: gen,
+		}
+		rt.status, rt.rowsRead = "ok", res.RowsScanned
+		rt.trace.SetRowsRead(res.RowsScanned)
+		rt.finish()
+		s.writeShardJSON(w, raw)
 		return
 	}
 	// Mirror /query: RowsRead from the engine result and elapsed measured

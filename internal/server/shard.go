@@ -1,0 +1,114 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+	"dynsample/internal/faults"
+)
+
+// This file is the shard-mode surface of the server: the raw (merge-ready)
+// query response the coordinator consumes, and GET /shard, the summary a
+// coordinator fetches when it admits this shard. The server deliberately
+// knows nothing about the cluster topology — internal/cluster imports this
+// package, never the reverse — so a shard is just a normal aqpd process
+// whose responses can also be had in raw form.
+
+// RawQueryResponse is the body of POST /query and /exact when the request
+// sets "raw": true: the full accumulator state of the answer, suitable for
+// engine.ResultFromWire + Result.Merge on the coordinator, plus the scalar
+// answer metadata. Confidence intervals are deliberately absent — they are
+// not additive, so the coordinator recomputes them from the merged
+// accumulators.
+type RawQueryResponse struct {
+	Result     *engine.ResultWire `json:"result"`
+	RowsRead   int64              `json:"rowsRead,omitempty"`
+	ElapsedUS  int64              `json:"elapsedMicros"`
+	Generation uint64             `json:"generation"`
+	Degraded   bool               `json:"degraded,omitempty"`
+	Plan       string             `json:"plan,omitempty"`
+	Predicted  *float64           `json:"predicted,omitempty"`
+	Achieved   *float64           `json:"achieved,omitempty"`
+}
+
+// shardSummary caches the (expensive: full column scans) join summary per
+// data generation, so a coordinator probing GET /shard on every breaker
+// half-open cycle does not rescan an unchanged partition.
+type shardSummary struct {
+	mu    sync.Mutex
+	gen   uint64
+	stats *core.ShardStats
+}
+
+// handleShard implements GET /shard: the summary statistics the coordinator
+// registers at shard join (row counts, sample size, rare mass, scan rate,
+// per-column value sets). Recomputed only when the data generation moved.
+func (s *Server) handleShard(w http.ResponseWriter, _ *http.Request) {
+	gen := s.sys.DataGeneration()
+	s.shard.mu.Lock()
+	if s.shard.stats == nil || s.shard.gen != gen {
+		st, err := core.ComputeShardStats(s.sys, s.strategy, s.cfg.ShardID, s.cfg.Shards)
+		if err != nil {
+			s.shard.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, CodeInternal, err)
+			return
+		}
+		s.shard.stats, s.shard.gen = st, gen
+	}
+	st := s.shard.stats
+	s.shard.mu.Unlock()
+	writeJSON(w, st)
+}
+
+// writeShardJSON writes a raw shard response, honoring the PointShardBody
+// cut hook: a registered CutHook can truncate the body mid-stream, which —
+// because Content-Length is set to the full length first — surfaces on the
+// coordinator side as an unexpected EOF, exactly like a connection dying
+// under the response.
+func (s *Server) writeShardJSON(w http.ResponseWriter, v any) {
+	if !faults.Active() {
+		writeJSON(w, v)
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	b = append(b, '\n')
+	n := faults.FireCut(faults.PointShardBody, s.cfg.ShardID, len(b))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.Write(b[:n])
+}
+
+// Wrap applies the server's outer middleware — request-ID echo and panic
+// recovery — to any handler. The cluster coordinator wraps its own routes
+// with it so both tiers present one envelope discipline.
+func Wrap(h http.Handler) http.Handler { return requestID(recoverPanics(h)) }
+
+// WriteJSON writes v as a JSON 200 exactly like the server's own handlers
+// (body fully encoded before the first byte is committed).
+func WriteJSON(w http.ResponseWriter, v any) { writeJSON(w, v) }
+
+// WriteError writes the standard error envelope.
+func WriteError(w http.ResponseWriter, status int, code string, err error) {
+	writeError(w, status, code, err)
+}
+
+// WriteErrorRetry writes the standard error envelope with a retry hint in
+// the body (the caller sets the Retry-After header itself).
+func WriteErrorRetry(w http.ResponseWriter, status int, code string, retryAfterMS int64, err error) {
+	writeErrorRetry(w, status, code, retryAfterMS, err)
+}
+
+// RetryAfterSecs exposes the jittered Retry-After computation so the
+// coordinator's 503s spread client retries the same way shard 503s do.
+func RetryAfterSecs(configured, fallback time.Duration) int {
+	return retryAfterSecs(configured, fallback)
+}
