@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet cover bench bench-json experiments experiments-quick examples faults smoke fuzz fuzz-smoke clean
+.PHONY: all check build test vet cover bench bench-json bench-guard scenarios scenario-smoke experiments experiments-quick examples faults smoke fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -14,11 +14,13 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	bash scripts/doclinks.sh
+	bash scripts/scripts_test.sh
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \
 		echo "govulncheck not installed; skipping vulnerability scan"; \
 	fi
+	@if [ "$(BENCH_GUARD)" = "1" ]; then $(MAKE) bench-guard; fi
 
 build:
 	$(GO) build ./...
@@ -68,6 +70,27 @@ bench:
 # (BENCH_ingest.json / BENCH_query.json) for commit-to-commit comparison.
 bench-json:
 	bash scripts/bench.sh
+
+# Benchmark regression guard: reruns the benchmarks into a scratch dir and
+# fails if any ns_per_op regressed >25% versus the committed baseline JSON.
+# Also runs as part of `make check BENCH_GUARD=1`. Override BENCHTIME for a
+# longer, less noisy run; refresh baselines with `make bench-json`.
+bench-guard:
+	@mkdir -p /tmp/benchguard
+	BENCH_OUTDIR=/tmp/benchguard BENCHTIME=$${BENCHTIME:-500ms} bash scripts/bench.sh
+	bash scripts/benchdiff.sh BENCH_ingest.json /tmp/benchguard/BENCH_ingest.json
+	bash scripts/benchdiff.sh BENCH_query.json /tmp/benchguard/BENCH_query.json
+
+# Full scenario sweep: run every committed case end-to-end against a live
+# server and write one SCENARIO_<case>.json verdict per case. Fails if any
+# declared gate (RelErr ceiling, QPS floor, memory/build budget) fails.
+scenarios:
+	$(GO) run ./cmd/aqpscenario -cases scenarios/cases -out scenarios/verdicts -v
+
+# The CI smoke slice: just the tiny uniform case (a few seconds).
+scenario-smoke:
+	@mkdir -p /tmp/scenario-smoke
+	$(GO) run ./cmd/aqpscenario -case uniform_smoke -out /tmp/scenario-smoke -v
 
 # Regenerate every paper figure at full scale (~10 min, single core).
 experiments:

@@ -1,0 +1,79 @@
+// Command aqpscenario runs the declarative scenario suite: for each case
+// directory (a data spec plus a check declaration, see scenarios/README.md)
+// it generates the database, builds the small-group samples, starts a live
+// HTTP server, replays the declared query workload against /v1/query and
+// /v1/exact, and writes one SCENARIO_<case>.json verdict with every
+// accuracy/throughput/resource gate evaluated.
+//
+// Usage:
+//
+//	aqpscenario -cases scenarios/cases -out .          # full sweep
+//	aqpscenario -cases scenarios/cases -case uniform_smoke -out /tmp
+//
+// The exit code is 0 only when every executed case passes its gates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynsample/internal/scenario"
+)
+
+func main() {
+	var (
+		cases   = flag.String("cases", "scenarios/cases", "directory of case directories")
+		one     = flag.String("case", "", "run only this case (directory base name)")
+		out     = flag.String("out", ".", "directory verdict files are written to")
+		verbose = flag.Bool("v", false, "log per-case progress")
+	)
+	flag.Parse()
+
+	opts := scenario.RunOptions{OutDir: *out}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var verdicts []*scenario.Verdict
+	var err error
+	if *one != "" {
+		var v *scenario.Verdict
+		v, err = scenario.RunDir(filepath.Join(*cases, *one), opts)
+		if v != nil {
+			verdicts = append(verdicts, v)
+		}
+	} else {
+		verdicts, err = scenario.RunAll(*cases, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqpscenario:", err)
+		os.Exit(1)
+	}
+
+	failed := 0
+	fmt.Printf("%-18s %8s %9s %9s %10s %11s %8s  %s\n",
+		"CASE", "QUERIES", "RELERR", "PREDICTED", "VIOLATIONS", "QPS", "BUILD", "VERDICT")
+	for _, v := range verdicts {
+		verdict := "PASS"
+		if !v.Pass {
+			verdict = "FAIL"
+			failed++
+			for _, g := range v.Gates {
+				if !g.Pass {
+					verdict += fmt.Sprintf(" [%s %.4g vs %.4g]", g.Name, g.Value, g.Limit)
+				}
+			}
+		}
+		fmt.Printf("%-18s %8d %9.4f %9.4f %6d/%-3d %11.1f %7dms  %s\n",
+			v.Case, v.Queries, v.MeanRelErr, v.MeanPredicted,
+			v.Violations, v.Queries, v.QPS, v.BuildMS, verdict)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "aqpscenario: %d/%d cases failed\n", failed, len(verdicts))
+		os.Exit(1)
+	}
+}

@@ -1,10 +1,14 @@
-// Command datagen emits the synthetic experiment databases as CSV for
-// inspection or use by external tools.
+// Command datagen emits synthetic experiment databases as CSV for
+// inspection or use by external tools. Databases are described by scenario
+// spec files (see internal/scenario); the two schemas used throughout the
+// experiments ship as builtin specs.
 //
 // Usage:
 //
-//	datagen -db tpch -sf 1 -z 2.0 -out /tmp/tpch     # one CSV per table
-//	datagen -db sales -rows 80000 -out /tmp/sales
+//	datagen -db tpch -out /tmp/tpch              # builtin spec, one CSV per table
+//	datagen -db sales -rows 20000 -out /tmp/sales
+//	datagen -spec scenarios/cases/geo_correlated/spec.json -out /tmp/geo
+//	datagen -list                                # show builtin spec names
 package main
 
 import (
@@ -13,41 +17,50 @@ import (
 	"os"
 	"path/filepath"
 
-	"dynsample/internal/datagen"
 	"dynsample/internal/engine"
+	"dynsample/internal/scenario"
 )
 
 func main() {
 	var (
-		db   = flag.String("db", "tpch", "database to generate: tpch or sales")
-		sf   = flag.Float64("sf", 1, "TPC-H scale factor")
-		z    = flag.Float64("z", 2.0, "Zipf skew parameter")
-		rows = flag.Int("rows", 0, "row override (tpch: rows per SF; sales: fact rows)")
-		out  = flag.String("out", ".", "output directory")
-		seed = flag.Int64("seed", 42, "random seed")
+		db       = flag.String("db", "", "builtin database spec to generate (see -list)")
+		specPath = flag.String("spec", "", "path to a scenario spec file (overrides -db)")
+		rows     = flag.Int("rows", 0, "fact table row-count override")
+		seed     = flag.Int64("seed", 0, "random seed override (0 keeps the spec's seed)")
+		out      = flag.String("out", ".", "output directory")
+		list     = flag.Bool("list", false, "list builtin spec names and exit")
 	)
 	flag.Parse()
 
-	var (
-		d   *engine.Database
-		err error
-	)
-	switch *db {
-	case "tpch":
-		d, err = datagen.TPCH(datagen.TPCHConfig{ScaleFactor: *sf, Zipf: *z, RowsPerSF: *rows, Seed: *seed})
-	case "sales":
-		d, err = datagen.Sales(datagen.SalesConfig{FactRows: *rows, Zipf: *z, Seed: *seed})
-	default:
-		err = fmt.Errorf("unknown database %q", *db)
+	if *list {
+		for _, name := range scenario.BuiltinSpecs() {
+			fmt.Println(name)
+		}
+		return
 	}
+
+	spec, err := loadSpec(*specPath, *db)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	if *rows > 0 {
+		ft := spec.FactTable()
+		if ft == nil {
+			fail(fmt.Errorf("spec %s has no fact table to apply -rows to", spec.Name))
+		}
+		ft.Rows = *rows
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+
+	d, err := scenario.Generate(spec)
+	if err != nil {
+		fail(err)
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	write := func(t *engine.Table) error {
 		path := filepath.Join(*out, t.Name+".csv")
@@ -64,13 +77,27 @@ func main() {
 	}
 
 	if err := write(d.Fact); err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	for _, dim := range d.Dims {
 		if err := write(dim.Table); err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
+}
+
+func loadSpec(specPath, db string) (*scenario.Spec, error) {
+	switch {
+	case specPath != "":
+		return scenario.LoadSpec(specPath)
+	case db != "":
+		return scenario.BuiltinSpec(db)
+	default:
+		return nil, fmt.Errorf("one of -db or -spec is required (builtins: %v)", scenario.BuiltinSpecs())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/stats"
+)
+
+// PlanPreviewer is implemented by Prepared states that can enumerate their
+// candidate plans — with §4.4 error predictions and calibrated latency
+// predictions — without executing anything. The scenario harness uses it to
+// compare what the planner *promised* for a query against the error it
+// actually achieved, which is the measurement behind the correlated-columns
+// accuracy study in EXPERIMENTS.md.
+type PlanPreviewer interface {
+	// PreviewPlans returns every candidate the planner would consider for q
+	// under b (cheapest first), with Feasible set per the bounds, plus the
+	// prediction caveats for the full plan.
+	PreviewPlans(q *engine.Query, b Bounds) ([]PlanCandidate, []string, error)
+}
+
+// PreviewPlans enumerates the candidate plans for q exactly as AnswerBounds
+// would, but performs no execution. Confidence resolves like a bounded query:
+// the request level, then the configured level, then the default.
+func (p *smallGroupPrepared) PreviewPlans(q *engine.Query, b Bounds) ([]PlanCandidate, []string, error) {
+	conf := b.Confidence
+	if conf == 0 {
+		conf = p.cfg.ConfidenceLevel
+	}
+	if conf == 0 {
+		conf = DefaultConfidenceLevel
+	}
+	z := stats.NormalQuantile(0.5 + conf/2)
+	choices, caveats := p.enumerate(q, z, true, true)
+	cands := make([]PlanCandidate, len(choices))
+	for i, c := range choices {
+		c.cand.Feasible = (b.ErrorBound == 0 || c.cand.PredictedError <= b.ErrorBound) &&
+			(b.TimeBound == 0 || c.cand.PredictedLatency <= b.TimeBound)
+		cands[i] = c.cand
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Rows < cands[j].Rows })
+	return cands, caveats, nil
+}
+
+// PreviewPlans exposes the named strategy's plan enumeration without running
+// anything: every candidate with its predicted error and latency, feasibility
+// judged against b. Strategies whose runtime state does not implement
+// PlanPreviewer return an error.
+func (s *System) PreviewPlans(strategy string, q *engine.Query, b Bounds) ([]PlanCandidate, []string, error) {
+	p, ok := s.set.Load().prepared[strategy]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: strategy %q not registered", strategy)
+	}
+	pv, ok := p.(PlanPreviewer)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: strategy %q does not support plan preview", strategy)
+	}
+	if err := q.Validate(s.DB()); err != nil {
+		return nil, nil, err
+	}
+	return pv.PreviewPlans(q, b)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPreviewPlansMatchesEnumeration(t *testing.T) {
+	db := plannerDB(t, 20000)
+	sys := NewSystem(db)
+	if err := sys.AddStrategy(NewSmallGroup(SmallGroupConfig{BaseRate: 0.05, Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	q := countQuery("region")
+	b := Bounds{ErrorBound: 0.08, Confidence: 0.95}
+	cands, _, err := sys.PreviewPlans("smallgroup", q, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("preview returned %d candidates, want several", len(cands))
+	}
+	var sawExact, sawFeasible bool
+	for i, c := range cands {
+		if i > 0 && c.Rows < cands[i-1].Rows {
+			t.Fatalf("candidates not sorted cheapest first: %v", cands)
+		}
+		if c.Exact {
+			sawExact = true
+			if c.PredictedError != 0 {
+				t.Fatalf("exact plan predicted error %g, want 0", c.PredictedError)
+			}
+		}
+		if c.Feasible {
+			sawFeasible = true
+			if c.PredictedError > b.ErrorBound {
+				t.Fatalf("candidate %s marked feasible with error %g > bound %g", c.Name, c.PredictedError, b.ErrorBound)
+			}
+		}
+	}
+	if !sawExact {
+		t.Fatal("preview omitted the exact fallback")
+	}
+	if !sawFeasible {
+		t.Fatal("no candidate marked feasible under a satisfiable bound")
+	}
+
+	// The preview must agree with what AnswerBounds actually chooses: the
+	// chosen plan is one of the previewed candidates, with the same prediction.
+	ans, err := sys.ApproxBoundsCtx(t.Context(), "smallgroup", q, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matched bool
+	for _, c := range cands {
+		if c.Name == ans.Plan.Chosen.Name && c.PredictedError == ans.Plan.Chosen.PredictedError {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Fatalf("chosen plan %q (pred %g) not among previewed candidates", ans.Plan.Chosen.Name, ans.Plan.Chosen.PredictedError)
+	}
+}
+
+func TestPreviewPlansTimeBoundFeasibility(t *testing.T) {
+	db := plannerDB(t, 20000)
+	sys := NewSystem(db)
+	if err := sys.AddStrategy(NewSmallGroup(SmallGroupConfig{BaseRate: 0.05, Seed: 1, ScanRowsPerSecond: 1e6})); err != nil {
+		t.Fatal(err)
+	}
+	cands, _, err := sys.PreviewPlans("smallgroup", countQuery("region"), Bounds{TimeBound: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		want := c.PredictedLatency <= time.Millisecond
+		if c.Feasible != want {
+			t.Fatalf("candidate %s latency %v feasible=%v, want %v", c.Name, c.PredictedLatency, c.Feasible, want)
+		}
+	}
+}
+
+func TestPreviewPlansErrors(t *testing.T) {
+	db := plannerDB(t, 2000)
+	sys := NewSystem(db)
+	if _, _, err := sys.PreviewPlans("nope", countQuery("region"), Bounds{}); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("unknown strategy error = %v", err)
+	}
+	if err := sys.AddStrategy(NewSmallGroup(SmallGroupConfig{BaseRate: 0.05, Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.PreviewPlans("smallgroup", countQuery("ghost"), Bounds{}); err == nil {
+		t.Fatal("invalid query previewed without error")
+	}
+}

@@ -1,0 +1,420 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dynsample/internal/engine"
+	"dynsample/internal/randx"
+)
+
+// Generate materialises the spec into an engine star schema. Tables are
+// seeded in topological FK order (referenced tables first), all randomness
+// flows from one generator seeded with Spec.Seed, and the same spec+seed
+// yields a bit-identical database on every run.
+func Generate(s *Spec) (*engine.Database, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := s.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rng := randx.New(s.Seed)
+	built := make(map[string]*engine.Table, len(order))
+	var fact *engine.Table
+	var dims []engine.DimJoin
+	for _, t := range order {
+		tbl, joins, err := generateTable(t, built, rng)
+		if err != nil {
+			return nil, err
+		}
+		built[t.Name] = tbl
+		if t.Fact {
+			fact = tbl
+			dims = joins
+		}
+	}
+	return engine.NewDatabase(s.Name, fact, dims...)
+}
+
+// generateTable builds one table. For the fact table it also returns the
+// dimension joins its FKs induce; dimension FKs instead inline the
+// referenced table's columns.
+func generateTable(t *TableSpec, built map[string]*engine.Table, rng *rand.Rand) (*engine.Table, []engine.DimJoin, error) {
+	cols, groups, err := newDrawers(t, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Inlined parents (dimension FKs): each row draws a parent row and copies
+	// the parent's columns, so the parent's columns ride along correlated.
+	type inline struct {
+		parent *engine.Table
+		cols   []*engine.Column // destination columns, aligned with parent's
+	}
+	var inlines []inline
+	// Fact FKs: a physical int column of row ids into the dimension.
+	type factFK struct {
+		col *engine.Column
+		dim *engine.Table
+	}
+	var factFKs []factFK
+	var joins []engine.DimJoin
+	for _, fk := range t.FKs {
+		parent := built[fk.References]
+		if parent == nil {
+			return nil, nil, fmt.Errorf("scenario: internal: table %q generated before its reference %q", t.Name, fk.References)
+		}
+		if t.Fact {
+			c := engine.NewColumn(fk.Column, engine.Int)
+			factFKs = append(factFKs, factFK{col: c, dim: parent})
+			joins = append(joins, engine.DimJoin{Table: parent, FK: fk.Column})
+			continue
+		}
+		in := inline{parent: parent}
+		for _, pc := range parent.Columns() {
+			in.cols = append(in.cols, engine.NewColumn(pc.Name, pc.Type))
+		}
+		inlines = append(inlines, in)
+	}
+
+	for row := 0; row < t.Rows; row++ {
+		// Correlated groups first (declaration order), then every column in
+		// declared order — grouped columns take their resolved value,
+		// independent columns draw inline. One rng, fixed order: the stream
+		// is reproducible.
+		for _, g := range groups {
+			g.drawRow(rng)
+		}
+		for _, c := range cols {
+			c.appendRow(rng)
+		}
+		for _, in := range inlines {
+			pr := rng.Intn(in.parent.NumRows())
+			for i, pc := range in.parent.Columns() {
+				in.cols[i].Append(pc.Value(pr))
+			}
+		}
+		for _, f := range factFKs {
+			f.col.AppendInt(int64(rng.Intn(f.dim.NumRows())))
+		}
+	}
+
+	var all []*engine.Column
+	for _, c := range cols {
+		all = append(all, c.col)
+	}
+	for _, in := range inlines {
+		all = append(all, in.cols...)
+	}
+	for _, f := range factFKs {
+		all = append(all, f.col)
+	}
+	// NewTable adopts the row count from the pre-filled columns.
+	return engine.NewTable(t.Name, all...), joins, nil
+}
+
+// drawer generates one column's values. Grouped columns read the value their
+// correlated group resolved for the current row.
+type drawer struct {
+	col   *engine.Column
+	draw  func(rng *rand.Rand) engine.Value // independent columns
+	group *groupDrawer                      // non-nil for grouped columns
+	slot  int                               // index into group.current
+}
+
+func (d *drawer) appendRow(rng *rand.Rand) {
+	if d.group != nil {
+		d.col.Append(d.group.current[d.slot])
+		return
+	}
+	d.col.Append(d.draw(rng))
+}
+
+// groupDrawer resolves one correlated group per row into current (aligned
+// with the group's column order).
+type groupDrawer struct {
+	current []engine.Value
+	drawRow func(rng *rand.Rand)
+}
+
+// newDrawers compiles the table's columns (declared + padding) and
+// correlated groups into drawers.
+func newDrawers(t *TableSpec, setupRng *rand.Rand) ([]*drawer, []*groupDrawer, error) {
+	specs := append([]ColumnSpec(nil), t.Columns...)
+	if p := t.Padding; p != nil {
+		cards := p.Cards
+		if len(cards) == 0 {
+			cards = defaultPaddingCards
+		}
+		for i := 0; i < p.Count; i++ {
+			specs = append(specs, ColumnSpec{
+				Name: fmt.Sprintf("%s_attr%02d", t.Name, i),
+				Type: TypeString,
+				Dist: DistSpec{Kind: DistZipf, Card: cards[i%len(cards)], Z: p.Z, TailMass: p.TailMass},
+			})
+		}
+	}
+	byName := make(map[string]*ColumnSpec, len(specs))
+	drawers := make([]*drawer, len(specs))
+	index := make(map[string]int, len(specs))
+	for i := range specs {
+		c := &specs[i]
+		byName[c.Name] = c
+		index[c.Name] = i
+		draw, err := newDraw(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		drawers[i] = &drawer{col: engine.NewColumn(c.Name, colType(c.Type)), draw: draw}
+	}
+
+	var groups []*groupDrawer
+	for gi := range t.Correlated {
+		g := &t.Correlated[gi]
+		gd := &groupDrawer{current: make([]engine.Value, len(g.Columns))}
+		for slot, cn := range g.Columns {
+			d := drawers[index[cn]]
+			d.group = gd
+			d.slot = slot
+		}
+		switch g.Kind {
+		case CorrFD:
+			fd, err := newFDDraw(g, byName, gd, setupRng)
+			if err != nil {
+				return nil, nil, err
+			}
+			gd.drawRow = fd
+		case CorrJoint:
+			joint, err := newJointDraw(g, byName, gd)
+			if err != nil {
+				return nil, nil, err
+			}
+			gd.drawRow = joint
+		}
+		groups = append(groups, gd)
+	}
+	return drawers, groups, nil
+}
+
+// newDraw compiles an independent column distribution into a sampler.
+func newDraw(c *ColumnSpec) (func(*rand.Rand) engine.Value, error) {
+	d := &c.Dist
+	switch d.Kind {
+	case DistZipf, DistUniform:
+		domain := categoricalDomain(c)
+		idx := newIndexDraw(d)
+		return func(rng *rand.Rand) engine.Value { return domain[idx(rng)] }, nil
+	case DistWeighted:
+		domain := categoricalDomain(c)
+		cat := randx.NewCategorical(d.Weights)
+		return func(rng *rand.Rand) engine.Value { return domain[cat.Draw(rng)] }, nil
+	case DistNormal:
+		mean, sd := d.Mean, d.Stddev
+		if c.Type == TypeInt {
+			return func(rng *rand.Rand) engine.Value {
+				return engine.IntVal(int64(math.Round(mean + sd*rng.NormFloat64())))
+			}, nil
+		}
+		return func(rng *rand.Rand) engine.Value {
+			return engine.FloatVal(mean + sd*rng.NormFloat64())
+		}, nil
+	case DistLogNormal:
+		mu, sigma := d.Mu, d.Sigma
+		if c.Type == TypeInt {
+			return func(rng *rand.Rand) engine.Value {
+				return engine.IntVal(int64(math.Round(randx.LogNormal(rng, mu, sigma))))
+			}, nil
+		}
+		return func(rng *rand.Rand) engine.Value {
+			return engine.FloatVal(randx.LogNormal(rng, mu, sigma))
+		}, nil
+	}
+	return nil, fmt.Errorf("scenario: column %q: unknown distribution %q", c.Name, d.Kind)
+}
+
+// newIndexDraw compiles a zipf/uniform spec into an index sampler over
+// [0, card). TailMass switches zipf to the head-and-tail mixture shape of
+// real operational categoricals.
+func newIndexDraw(d *DistSpec) func(*rand.Rand) int {
+	card := d.Card
+	z := d.Z
+	if d.Kind == DistUniform {
+		z = 0
+	}
+	if d.Kind == DistZipf && d.TailMass > 0 {
+		head := card / 6
+		if head < 2 {
+			head = 2
+		}
+		if head > 8 {
+			head = 8
+		}
+		if head < card {
+			weights := make([]float64, card)
+			headZ := randx.NewZipf(z, head)
+			for i := 0; i < head; i++ {
+				weights[i] = (1 - d.TailMass) * headZ.Prob(i)
+			}
+			tailZ := randx.NewZipf(1.5, card-head)
+			for i := head; i < card; i++ {
+				weights[i] = d.TailMass * tailZ.Prob(i-head)
+			}
+			cat := randx.NewCategorical(weights)
+			return cat.Draw
+		}
+	}
+	zipf := randx.NewZipf(z, card)
+	return zipf.Draw
+}
+
+// categoricalDomain materialises a categorical column's value domain: the
+// weighted spec's literal values, or "<col>_<i>" / i for zipf and uniform.
+func categoricalDomain(c *ColumnSpec) []engine.Value {
+	if c.Dist.Kind == DistWeighted {
+		out := make([]engine.Value, len(c.Dist.Values))
+		for i, v := range c.Dist.Values {
+			out[i], _ = coerce(v, c.Type) // validated earlier
+		}
+		return out
+	}
+	out := make([]engine.Value, c.Dist.Card)
+	for i := range out {
+		if c.Type == TypeInt {
+			out[i] = engine.IntVal(int64(i))
+		} else {
+			out[i] = engine.StringVal(fmt.Sprintf("%s_%03d", c.Name, i))
+		}
+	}
+	return out
+}
+
+// newFDDraw compiles a functional-dependency group: the determinant draws
+// from its own distribution and every dependent column's value is a fixed
+// seeded mapping of the determinant's value index (softened by Noise).
+func newFDDraw(g *CorrelatedSpec, byName map[string]*ColumnSpec, gd *groupDrawer, setupRng *rand.Rand) (func(*rand.Rand), error) {
+	det := byName[g.Determinant]
+	detCard := det.Dist.cardinality()
+	detDomain := categoricalDomain(det)
+	var detIdx func(*rand.Rand) int
+	if det.Dist.Kind == DistWeighted {
+		detIdx = randx.NewCategorical(det.Dist.Weights).Draw
+	} else {
+		detIdx = newIndexDraw(&det.Dist)
+	}
+
+	type dep struct {
+		slot    int
+		domain  []engine.Value
+		mapping []int // determinant index -> dependent index
+		indep   func(*rand.Rand) int
+	}
+	var detSlot int
+	var deps []dep
+	for slot, cn := range g.Columns {
+		if cn == g.Determinant {
+			detSlot = slot
+			continue
+		}
+		c := byName[cn]
+		dp := dep{slot: slot, domain: categoricalDomain(c), mapping: make([]int, detCard)}
+		if c.Dist.Kind == DistWeighted {
+			dp.indep = randx.NewCategorical(c.Dist.Weights).Draw
+		} else {
+			dp.indep = newIndexDraw(&c.Dist)
+		}
+		// The dependency mapping is fixed up front from the setup stream:
+		// dependent values are assigned round-robin over a shuffled domain so
+		// every dependent value is reachable, then the map never changes —
+		// that is what makes it a functional dependency.
+		perm := setupRng.Perm(len(dp.domain))
+		for i := 0; i < detCard; i++ {
+			dp.mapping[i] = perm[i%len(perm)]
+		}
+		deps = append(deps, dp)
+	}
+	noise := g.Noise
+	return func(rng *rand.Rand) {
+		i := detIdx(rng)
+		gd.current[detSlot] = detDomain[i]
+		for _, dp := range deps {
+			if noise > 0 && rng.Float64() < noise {
+				gd.current[dp.slot] = dp.domain[dp.indep(rng)]
+				continue
+			}
+			gd.current[dp.slot] = dp.domain[dp.mapping[i]]
+		}
+	}, nil
+}
+
+// newJointDraw compiles an explicit joint distribution: each row draws a
+// state and every grouped column takes that state's value.
+func newJointDraw(g *CorrelatedSpec, byName map[string]*ColumnSpec, gd *groupDrawer) (func(*rand.Rand), error) {
+	weights := make([]float64, len(g.States))
+	vals := make([][]engine.Value, len(g.States))
+	for si, st := range g.States {
+		weights[si] = st.Weight
+		vals[si] = make([]engine.Value, len(st.Values))
+		for vi, v := range st.Values {
+			cv, err := coerce(v, byName[g.Columns[vi]].Type)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: joint state %d: %v", si, err)
+			}
+			vals[si][vi] = cv
+		}
+	}
+	cat := randx.NewCategorical(weights)
+	return func(rng *rand.Rand) {
+		copy(gd.current, vals[cat.Draw(rng)])
+	}, nil
+}
+
+// colType maps a spec type name to the engine type. Specs are validated
+// before generation, so unknown names cannot reach this.
+func colType(t string) engine.Type {
+	switch t {
+	case TypeInt:
+		return engine.Int
+	case TypeFloat:
+		return engine.Float
+	default:
+		return engine.String
+	}
+}
+
+// coerce converts a decoded JSON scalar to an engine value of the column's
+// type. JSON numbers arrive as float64; int columns require an integral
+// value.
+func coerce(v any, typ string) (engine.Value, error) {
+	switch typ {
+	case TypeString:
+		s, ok := v.(string)
+		if !ok {
+			return engine.Value{}, fmt.Errorf("want a string, got %T (%v)", v, v)
+		}
+		return engine.StringVal(s), nil
+	case TypeInt:
+		f, ok := v.(float64)
+		if !ok {
+			if i, isInt := v.(int); isInt {
+				return engine.IntVal(int64(i)), nil
+			}
+			return engine.Value{}, fmt.Errorf("want an integer, got %T (%v)", v, v)
+		}
+		if f != math.Trunc(f) {
+			return engine.Value{}, fmt.Errorf("want an integer, got %g", f)
+		}
+		return engine.IntVal(int64(f)), nil
+	case TypeFloat:
+		switch n := v.(type) {
+		case float64:
+			return engine.FloatVal(n), nil
+		case int:
+			return engine.FloatVal(float64(n)), nil
+		}
+		return engine.Value{}, fmt.Errorf("want a number, got %T (%v)", v, v)
+	}
+	return engine.Value{}, fmt.Errorf("unknown type %q", typ)
+}

@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"dynsample/internal/engine"
+)
+
+// geoSpec is the canonical correlated-schema fixture: a snowflake
+// (fact → city dim → inlined region) plus a joint-correlated pair and a
+// functional dependency on the fact table.
+func geoSpec(rows int) *Spec {
+	return &Spec{
+		Name: "GEO",
+		Seed: 7,
+		Tables: []TableSpec{
+			{
+				Name: "orders", Fact: true, Rows: rows,
+				Columns: []ColumnSpec{
+					{Name: "city", Type: TypeString, Dist: DistSpec{Kind: DistZipf, Card: 40, Z: 1.1}},
+					{Name: "region", Type: TypeString, Dist: DistSpec{Kind: DistUniform, Card: 6}},
+					{Name: "pay", Type: TypeString, Dist: DistSpec{Kind: DistWeighted,
+						Values: []any{"card", "cash"}, Weights: []float64{1, 1}}},
+					{Name: "chan", Type: TypeString, Dist: DistSpec{Kind: DistWeighted,
+						Values: []any{"web", "store"}, Weights: []float64{1, 1}}},
+					{Name: "amount", Type: TypeFloat, Dist: DistSpec{Kind: DistLogNormal, Mu: 3, Sigma: 1}},
+				},
+				Correlated: []CorrelatedSpec{
+					{Columns: []string{"city", "region"}, Kind: CorrFD, Determinant: "city"},
+					{Columns: []string{"pay", "chan"}, Kind: CorrJoint, States: []JointState{
+						{Weight: 49, Values: []any{"card", "web"}},
+						{Weight: 49, Values: []any{"cash", "store"}},
+						{Weight: 1, Values: []any{"card", "store"}},
+						{Weight: 1, Values: []any{"cash", "web"}},
+					}},
+				},
+				FKs: []FKSpec{{Column: "store_fk", References: "stores"}},
+			},
+			{
+				Name: "stores", Rows: 50,
+				Columns: []ColumnSpec{
+					{Name: "store_format", Type: TypeString, Dist: DistSpec{Kind: DistZipf, Card: 5, Z: 1, TailMass: 0.1}},
+				},
+				FKs: []FKSpec{{References: "districts"}},
+			},
+			{
+				Name: "districts", Rows: 8,
+				Columns: []ColumnSpec{
+					{Name: "district_name", Type: TypeString, Dist: DistSpec{Kind: DistUniform, Card: 8}},
+				},
+			},
+		},
+	}
+}
+
+func TestGenerateStarSchemaShape(t *testing.T) {
+	db, err := Generate(geoSpec(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRows() != 2000 {
+		t.Fatalf("fact rows = %d, want 2000", db.NumRows())
+	}
+	if len(db.Dims) != 1 || db.Dims[0].Table.Name != "stores" {
+		t.Fatalf("dims = %+v, want one stores dim", db.Dims)
+	}
+	// The snowflake inline: districts' column rides inside the stores dim and
+	// is visible in the view; no districts table survives as a dim.
+	for _, col := range []string{"city", "region", "pay", "chan", "amount", "store_format", "district_name"} {
+		if !db.HasColumn(col) {
+			t.Errorf("view missing column %q", col)
+		}
+	}
+	if db.HasColumn("store_fk") {
+		t.Error("physical FK column leaked into the view")
+	}
+	if db.Dims[0].Table.NumRows() != 50 {
+		t.Errorf("stores rows = %d, want 50", db.Dims[0].Table.NumRows())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(geoSpec(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(geoSpec(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range a.Columns() {
+		accA, _ := a.Accessor(col)
+		accB, _ := b.Accessor(col)
+		for row := 0; row < a.NumRows(); row++ {
+			if accA.Value(row) != accB.Value(row) {
+				t.Fatalf("column %q row %d differs across identical runs: %v vs %v",
+					col, row, accA.Value(row), accB.Value(row))
+			}
+		}
+	}
+}
+
+func TestGenerateFunctionalDependencyHolds(t *testing.T) {
+	db, err := Generate(geoSpec(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	city, _ := db.Accessor("city")
+	region, _ := db.Accessor("region")
+	seen := map[engine.Value]engine.Value{}
+	for row := 0; row < db.NumRows(); row++ {
+		c, r := city.Value(row), region.Value(row)
+		if prev, ok := seen[c]; ok {
+			if prev != r {
+				t.Fatalf("city %v maps to both %v and %v: functional dependency broken", c, prev, r)
+			}
+		} else {
+			seen[c] = r
+		}
+	}
+	// The dependency must not be trivial: multiple cities and more than one
+	// region must actually occur.
+	regions := map[engine.Value]bool{}
+	for _, r := range seen {
+		regions[r] = true
+	}
+	if len(seen) < 10 || len(regions) < 2 {
+		t.Fatalf("degenerate fd: %d cities, %d regions", len(seen), len(regions))
+	}
+}
+
+func TestGenerateFDNoiseBreaksDependency(t *testing.T) {
+	s := geoSpec(3000)
+	s.Tables[0].Correlated[0].Noise = 0.3
+	db, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	city, _ := db.Accessor("city")
+	region, _ := db.Accessor("region")
+	pairs := map[engine.Value]map[engine.Value]bool{}
+	for row := 0; row < db.NumRows(); row++ {
+		c := city.Value(row)
+		if pairs[c] == nil {
+			pairs[c] = map[engine.Value]bool{}
+		}
+		pairs[c][region.Value(row)] = true
+	}
+	multi := 0
+	for _, rs := range pairs {
+		if len(rs) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("noise 0.3 produced a perfect dependency; want some cities with several regions")
+	}
+}
+
+func TestGenerateJointDistributionFrequencies(t *testing.T) {
+	db, err := Generate(geoSpec(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay, _ := db.Accessor("pay")
+	ch, _ := db.Accessor("chan")
+	counts := map[[2]string]int{}
+	for row := 0; row < db.NumRows(); row++ {
+		counts[[2]string{pay.Value(row).S, ch.Value(row).S}]++
+	}
+	n := float64(db.NumRows())
+	want := map[[2]string]float64{
+		{"card", "web"}: 0.49, {"cash", "store"}: 0.49,
+		{"card", "store"}: 0.01, {"cash", "web"}: 0.01,
+	}
+	for k, p := range want {
+		got := float64(counts[k]) / n
+		if math.Abs(got-p) > 0.01+3*math.Sqrt(p*(1-p)/n) {
+			t.Errorf("joint cell %v frequency %.4f, want ~%.2f", k, got, p)
+		}
+	}
+	// The marginals look balanced even though the joint is concentrated —
+	// the shape that defeats an independence assumption.
+	cardFrac := float64(counts[[2]string{"card", "web"}]+counts[[2]string{"card", "store"}]) / n
+	if math.Abs(cardFrac-0.5) > 0.02 {
+		t.Errorf("card marginal %.3f, want ~0.5", cardFrac)
+	}
+}
+
+func TestGeneratePaddingColumns(t *testing.T) {
+	s := minimalSpec()
+	s.Tables[0].Padding = &PaddingSpec{Count: 7, Z: 1.0, TailMass: 0.05}
+	db, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		name := []string{"fact_attr00", "fact_attr01", "fact_attr02", "fact_attr03", "fact_attr04", "fact_attr05", "fact_attr06"}[i]
+		if !db.HasColumn(name) {
+			t.Errorf("missing padding column %q", name)
+		}
+	}
+}
+
+func TestGenerateNumericDistributions(t *testing.T) {
+	s := &Spec{
+		Name: "NUM",
+		Seed: 3,
+		Tables: []TableSpec{{
+			Name: "f", Fact: true, Rows: 20000,
+			Columns: []ColumnSpec{
+				{Name: "g", Type: TypeInt, Dist: DistSpec{Kind: DistNormal, Mean: 50, Stddev: 10}},
+				{Name: "v", Type: TypeFloat, Dist: DistSpec{Kind: DistNormal, Mean: -2, Stddev: 0.5}},
+			},
+		}},
+	}
+	db, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := db.Accessor("v")
+	var sum float64
+	for row := 0; row < db.NumRows(); row++ {
+		sum += acc.Float(row)
+	}
+	mean := sum / float64(db.NumRows())
+	if math.Abs(mean-(-2)) > 0.05 {
+		t.Errorf("normal mean %.3f, want ~-2", mean)
+	}
+}

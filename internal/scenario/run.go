@@ -1,0 +1,457 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dynsample/internal/core"
+	"dynsample/internal/engine"
+	"dynsample/internal/server"
+	"dynsample/internal/workload"
+)
+
+// This file is the runtime half of the scenario engine: it takes one loaded
+// case, builds a real core.System + server.New over the generated database,
+// replays the workload over HTTP (POST /v1/query vs POST /v1/exact), and
+// reduces the measurements to a machine-readable Verdict with every gate
+// evaluated. Nothing is mocked: the request path is the same one aqpd serves.
+
+// GateResult is one evaluated threshold in a verdict.
+type GateResult struct {
+	// Name is the gate's JSON name in GateSpec, e.g. "max_rel_err".
+	Name string `json:"name"`
+	// Value is the measured figure the gate judged.
+	Value float64 `json:"value"`
+	// Limit is the declared threshold.
+	Limit float64 `json:"limit"`
+	// Pass reports whether Value is on the right side of Limit.
+	Pass bool `json:"pass"`
+}
+
+// QueryStat records one replayed query, for the accuracy study.
+type QueryStat struct {
+	SQL string `json:"sql"`
+	// RelErr is the true mean per-group relative error vs /v1/exact
+	// (Definition 4.2: missing groups count 1, averaged over exact groups).
+	RelErr float64 `json:"rel_err"`
+	// Groups and Missed summarise the exact answer's group coverage.
+	Groups int `json:"groups"`
+	Missed int `json:"missed"`
+	// Predicted is the planner's predicted mean per-group relative error for
+	// the executed plan — from the bounded-query response when the case sets
+	// bounds, otherwise the full default plan's prediction via PreviewPlans.
+	Predicted float64 `json:"predicted"`
+	// Achieved is the server's online achieved-error estimate (bounded
+	// queries only).
+	Achieved float64 `json:"achieved,omitempty"`
+	// Plan names the executed plan (bounded queries only).
+	Plan string `json:"plan,omitempty"`
+	// Violated marks RelErr > Predicted: the §4.4 model promised more
+	// accuracy than the data delivered.
+	Violated bool `json:"violated,omitempty"`
+	// Unsatisfiable marks a bounded query the planner refused (422); it is
+	// excluded from the error and violation statistics.
+	Unsatisfiable bool `json:"unsatisfiable,omitempty"`
+}
+
+// Verdict is the machine-readable outcome of one case, written to
+// SCENARIO_<case>.json.
+type Verdict struct {
+	Case        string `json:"case"`
+	Description string `json:"description,omitempty"`
+	Spec        string `json:"spec"`
+	// Rows is the generated fact-table size; Tables counts spec tables.
+	Rows   int `json:"rows"`
+	Tables int `json:"tables"`
+
+	// BuildMS covers data generation plus strategy pre-processing.
+	BuildMS int64 `json:"build_ms"`
+	// SampleBytes/SampleRows are the built sample's footprint.
+	SampleBytes int64 `json:"sample_bytes"`
+	SampleRows  int64 `json:"sample_rows"`
+
+	// Queries is the number of workload queries measured (excluding
+	// unsatisfiable refusals, counted separately).
+	Queries       int `json:"queries"`
+	Unsatisfiable int `json:"unsatisfiable,omitempty"`
+
+	// MeanRelErr / MaxRelErr summarise the true error across the workload.
+	MeanRelErr float64 `json:"mean_rel_err"`
+	MaxRelErr  float64 `json:"max_rel_err"`
+	// MeanPredicted is the mean planner-predicted error across the workload;
+	// MeanPredictedGap is mean(RelErr − Predicted), positive when the
+	// planner is optimistic on this data.
+	MeanPredicted    float64 `json:"mean_predicted"`
+	MeanPredictedGap float64 `json:"mean_predicted_gap"`
+	// Violations counts queries whose true error exceeded the prediction;
+	// MaxExcess is the worst RelErr − Predicted among them.
+	Violations    int     `json:"violations"`
+	ViolationRate float64 `json:"violation_rate"`
+	MaxExcess     float64 `json:"max_excess,omitempty"`
+
+	// QPS is approximate-query throughput over HTTP (wall time of the /query
+	// requests only). SpeedupRows is exact rows scanned / sample rows
+	// scanned, the paper's cost proxy.
+	QPS         float64 `json:"qps"`
+	SpeedupRows float64 `json:"speedup_rows"`
+
+	Gates []GateResult `json:"gates"`
+	Pass  bool         `json:"pass"`
+
+	// QueryStats carries the per-query measurements behind the summary, so
+	// EXPERIMENTS.md tables can be rebuilt from the verdict alone.
+	QueryStats []QueryStat `json:"query_stats"`
+}
+
+// RunOptions tunes a run.
+type RunOptions struct {
+	// OutDir, when non-empty, receives SCENARIO_<case>.json.
+	OutDir string
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o RunOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// RunDir loads the case in dir and runs it end-to-end.
+func RunDir(dir string, opts RunOptions) (*Verdict, error) {
+	c, spec, err := LoadCase(dir)
+	if err != nil {
+		return nil, err
+	}
+	return Run(c, spec, opts)
+}
+
+// Run executes one case: generate the database, build the strategy, start a
+// live server, replay the workload, gate the measurements, and (when OutDir
+// is set) write the verdict file.
+func Run(c *Case, spec *Spec, opts RunOptions) (*Verdict, error) {
+	opts.logf("case %s: generating %q", c.Name, spec.Name)
+	buildStart := time.Now()
+	db, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	sys := core.NewSystem(db)
+	err = sys.AddStrategy(core.NewSmallGroup(core.SmallGroupConfig{
+		BaseRate: c.Strategy.BaseRate,
+		Seed:     c.Strategy.Seed,
+		Workers:  c.Strategy.Workers,
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: case %s: %w", c.Name, err)
+	}
+	buildMS := time.Since(buildStart).Milliseconds()
+	prepared, _ := sys.Prepared(server.DefaultStrategy)
+
+	kind, err := c.Workload.aggKind()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(db, workload.Config{
+		GroupingColumns: c.Workload.GroupingColumns,
+		Predicates:      c.Workload.Predicates,
+		MassSelectivity: c.Workload.MassSelectivity,
+		Aggregate:       kind,
+		Measures:        c.Workload.Measures,
+		MaxDistinct:     c.Workload.MaxDistinct,
+		Columns:         nilIfEmpty(c.Workload.Columns),
+		Seed:            c.Workload.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: case %s: %w", c.Name, err)
+	}
+	queries := gen.Queries(c.Workload.Queries)
+
+	ts := httptest.NewServer(server.New(sys, server.Config{}).Handler())
+	defer ts.Close()
+	opts.logf("case %s: replaying %d queries against %s", c.Name, len(queries), ts.URL)
+
+	v := &Verdict{
+		Case:        c.Name,
+		Description: c.Description,
+		Spec:        spec.Name,
+		Rows:        db.NumRows(),
+		Tables:      len(spec.Tables),
+		BuildMS:     buildMS,
+		SampleBytes: prepared.SampleBytes(),
+		SampleRows:  prepared.SampleRows(),
+	}
+
+	var approxWall time.Duration
+	var approxRows, exactRows int64
+	for _, q := range queries {
+		sql := q.String()
+		exact, _, err := postQuery(ts.URL+"/v1/exact", &server.QueryRequest{SQL: sql})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: case %s: exact %q: %w", c.Name, sql, err)
+		}
+		req := &server.QueryRequest{SQL: sql}
+		if c.Bounds != nil {
+			req.ErrorBound = c.Bounds.ErrorBound
+			req.Confidence = c.Bounds.Confidence
+		}
+		start := time.Now()
+		approx, unsat, err := postQuery(ts.URL+"/v1/query", req)
+		approxWall += time.Since(start)
+		if unsat {
+			v.Unsatisfiable++
+			v.QueryStats = append(v.QueryStats, QueryStat{SQL: sql, Unsatisfiable: true})
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: case %s: query %q: %w", c.Name, sql, err)
+		}
+		st := QueryStat{SQL: sql}
+		st.RelErr, st.Groups, st.Missed = relErr(exact.Groups, approx.Groups)
+		switch {
+		case approx.Predicted != nil:
+			st.Predicted = *approx.Predicted
+			st.Plan = approx.Plan
+			if approx.Achieved != nil {
+				st.Achieved = *approx.Achieved
+			}
+		default:
+			// Unbounded: the server ran the full default rewrite, whose
+			// prediction PreviewPlans exposes as the most expensive non-exact
+			// candidate.
+			st.Predicted, err = fullPlanPrediction(sys, q)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: case %s: preview %q: %w", c.Name, sql, err)
+			}
+		}
+		st.Violated = st.RelErr > st.Predicted
+		v.QueryStats = append(v.QueryStats, st)
+		approxRows += approx.RowsRead
+		exactRows += exact.RowsRead
+
+		v.Queries++
+		v.MeanRelErr += st.RelErr
+		v.MeanPredicted += st.Predicted
+		if st.RelErr > v.MaxRelErr {
+			v.MaxRelErr = st.RelErr
+		}
+		if st.Violated {
+			v.Violations++
+			if ex := st.RelErr - st.Predicted; ex > v.MaxExcess {
+				v.MaxExcess = ex
+			}
+		}
+	}
+	if v.Queries > 0 {
+		n := float64(v.Queries)
+		v.MeanRelErr /= n
+		v.MeanPredicted /= n
+		v.MeanPredictedGap = v.MeanRelErr - v.MeanPredicted
+		v.ViolationRate = float64(v.Violations) / n
+	}
+	if secs := approxWall.Seconds(); secs > 0 {
+		v.QPS = float64(v.Queries+v.Unsatisfiable) / secs
+	}
+	if approxRows > 0 {
+		v.SpeedupRows = float64(exactRows) / float64(approxRows)
+	}
+
+	v.evalGates(c.Gates)
+	opts.logf("case %s: rel_err mean %.4f max %.4f, predicted mean %.4f, violations %d/%d, qps %.1f, pass=%v",
+		c.Name, v.MeanRelErr, v.MaxRelErr, v.MeanPredicted, v.Violations, v.Queries, v.QPS, v.Pass)
+
+	if opts.OutDir != "" {
+		if err := v.Write(opts.OutDir); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// evalGates judges every declared gate and sets Pass.
+func (v *Verdict) evalGates(g GateSpec) {
+	max := func(name string, value, limit float64) {
+		v.Gates = append(v.Gates, GateResult{Name: name, Value: value, Limit: limit, Pass: value <= limit})
+	}
+	min := func(name string, value, limit float64) {
+		v.Gates = append(v.Gates, GateResult{Name: name, Value: value, Limit: limit, Pass: value >= limit})
+	}
+	max("max_rel_err", v.MeanRelErr, g.MaxRelErr)
+	if g.MinQPS > 0 {
+		min("min_qps", v.QPS, g.MinQPS)
+	}
+	if g.MaxSampleMB > 0 {
+		max("max_sample_mb", float64(v.SampleBytes)/1e6, g.MaxSampleMB)
+	}
+	if g.MaxBuildMS > 0 {
+		max("max_build_ms", float64(v.BuildMS), float64(g.MaxBuildMS))
+	}
+	if g.MaxViolationRate != nil {
+		max("max_violation_rate", v.ViolationRate, *g.MaxViolationRate)
+	}
+	if g.MinViolationRate != nil {
+		min("min_violation_rate", v.ViolationRate, *g.MinViolationRate)
+	}
+	v.Pass = true
+	for _, gr := range v.Gates {
+		v.Pass = v.Pass && gr.Pass
+	}
+}
+
+// Write emits the verdict as SCENARIO_<case>.json under dir.
+func (v *Verdict) Write(dir string) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "SCENARIO_"+v.Case+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}
+
+// postQuery POSTs one query request and decodes the response. A 422
+// bound_unsatisfiable response returns unsat=true with no error; any other
+// non-200 is an error carrying the server's message.
+func postQuery(url string, req *server.QueryRequest) (resp *server.QueryResponse, unsat bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, err
+	}
+	hr, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode == http.StatusUnprocessableEntity {
+		return nil, true, nil
+	}
+	if hr.StatusCode != http.StatusOK {
+		var er server.ErrorResponse
+		if json.NewDecoder(hr.Body).Decode(&er) == nil && er.Error.Message != "" {
+			return nil, false, fmt.Errorf("HTTP %d: %s", hr.StatusCode, er.Error.Message)
+		}
+		return nil, false, fmt.Errorf("HTTP %d", hr.StatusCode)
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(hr.Body).Decode(&qr); err != nil {
+		return nil, false, err
+	}
+	return &qr, false, nil
+}
+
+// relErr computes the Definition 4.2 mean per-group relative error of the
+// approximate groups against the exact groups, mirroring metrics.Compare:
+// missing groups contribute 1, zero-exact groups contribute 1 only when the
+// estimate is nonzero, and the sum is averaged over the exact group count.
+// Group identity is the full key tuple; the compared value is the first
+// aggregate output.
+func relErr(exact, approx []server.GroupJSON) (rel float64, groups, missed int) {
+	if len(exact) == 0 {
+		return 0, 0, 0
+	}
+	am := make(map[string][]float64, len(approx))
+	for _, g := range approx {
+		am[groupKey(g)] = g.Values
+	}
+	var sum float64
+	for _, g := range exact {
+		vals, ok := am[groupKey(g)]
+		if !ok || len(vals) == 0 {
+			missed++
+			sum += 1
+			continue
+		}
+		x, xhat := g.Values[0], vals[0]
+		switch {
+		case x == 0 && xhat != 0:
+			sum += 1
+		case x != 0:
+			d := (x - xhat) / x
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum / float64(len(exact)), len(exact), missed
+}
+
+// groupKey joins a group's key tuple with a separator no generated value
+// contains.
+func groupKey(g server.GroupJSON) string {
+	return strings.Join(g.Key, "\x1f")
+}
+
+// fullPlanPrediction returns the §4.4 predicted error of the full default
+// plan (every relevant small group table plus the whole overall sample) —
+// the plan an unbounded query executes.
+func fullPlanPrediction(sys *core.System, q *engine.Query) (float64, error) {
+	cands, _, err := sys.PreviewPlans(server.DefaultStrategy, q, core.Bounds{})
+	if err != nil {
+		return 0, err
+	}
+	full := -1.0
+	var rows int64 = -1
+	for _, cand := range cands {
+		if cand.Exact {
+			continue
+		}
+		if cand.Rows > rows {
+			rows, full = cand.Rows, cand.PredictedError
+		}
+	}
+	if full < 0 {
+		return 0, fmt.Errorf("no non-exact candidate in preview")
+	}
+	return full, nil
+}
+
+// nilIfEmpty maps an empty JSON list to the workload package's "all columns".
+func nilIfEmpty(s []string) []string {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+// RunAll runs every case directory under root (each immediate subdirectory
+// containing a case.json), in name order, and returns the verdicts. A case
+// that errors aborts the sweep; a case that merely fails its gates does not.
+func RunAll(root string, opts RunOptions) ([]*Verdict, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(root, e.Name(), "case.json")); err == nil {
+			dirs = append(dirs, filepath.Join(root, e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("scenario: no case directories under %s", root)
+	}
+	verdicts := make([]*Verdict, 0, len(dirs))
+	for _, dir := range dirs {
+		v, err := RunDir(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, nil
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// harnessCase is a small end-to-end case over the geo fixture.
+func harnessCase() *Case {
+	return &Case{
+		Name:        "t",
+		Description: "harness test",
+		Strategy:    StrategySpec{BaseRate: 0.1, Seed: 5},
+		Workload: WorkloadSpec{
+			Queries:         6,
+			Seed:            9,
+			GroupingColumns: 1,
+			Aggregate:       "count",
+			Columns:         []string{"city", "region", "pay"},
+		},
+		Gates: GateSpec{MaxRelErr: 0.9, MinQPS: 1},
+	}
+}
+
+func TestRunEndToEndEmitsVerdict(t *testing.T) {
+	out := t.TempDir()
+	v, err := Run(harnessCase(), geoSpec(4000), RunOptions{OutDir: out, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Queries != 6 {
+		t.Fatalf("measured %d queries, want 6", v.Queries)
+	}
+	if v.MeanRelErr < 0 || v.MeanRelErr > 1 {
+		t.Fatalf("mean rel err %g out of range", v.MeanRelErr)
+	}
+	if v.QPS <= 0 || v.SampleRows <= 0 || v.SampleBytes <= 0 {
+		t.Fatalf("degenerate measurements: qps %g sample rows %d bytes %d", v.QPS, v.SampleRows, v.SampleBytes)
+	}
+	if !v.Pass {
+		t.Fatalf("loose gates failed: %+v", v.Gates)
+	}
+	for _, st := range v.QueryStats {
+		if st.Predicted <= 0 && st.RelErr > 0 {
+			t.Fatalf("query %q has no prediction despite error %g", st.SQL, st.RelErr)
+		}
+	}
+
+	// The verdict file round-trips.
+	b, err := os.ReadFile(filepath.Join(out, "SCENARIO_t.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Verdict
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Case != "t" || back.Queries != v.Queries || back.Pass != v.Pass {
+		t.Fatalf("verdict file does not match in-memory verdict: %+v", back)
+	}
+}
+
+func TestRunGateFailure(t *testing.T) {
+	c := harnessCase()
+	c.Gates = GateSpec{MaxRelErr: 1e-9} // unmeetable: sampling always errs a little
+	v, err := Run(c, geoSpec(4000), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatal("impossible accuracy gate passed")
+	}
+	var found bool
+	for _, g := range v.Gates {
+		if g.Name == "max_rel_err" {
+			found = true
+			if g.Pass {
+				t.Fatalf("max_rel_err gate passed with value %g limit %g", g.Value, g.Limit)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("max_rel_err gate missing from verdict")
+	}
+}
+
+func TestRunBoundedQueriesRecordPlannerPredictions(t *testing.T) {
+	c := harnessCase()
+	c.Bounds = &BoundsSpec{ErrorBound: 0.5, Confidence: 0.95}
+	v, err := Run(c, geoSpec(4000), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := 0
+	for _, st := range v.QueryStats {
+		if st.Unsatisfiable {
+			continue
+		}
+		measured++
+		if st.Plan == "" {
+			t.Fatalf("bounded query %q has no plan name", st.SQL)
+		}
+		if st.Predicted < 0 || st.Predicted > 0.5 {
+			t.Fatalf("bounded query %q predicted %g, want in [0, bound]", st.SQL, st.Predicted)
+		}
+		if st.Plan == "exact" && st.RelErr != 0 {
+			t.Fatalf("exact plan for %q measured error %g, want 0", st.SQL, st.RelErr)
+		}
+	}
+	if measured == 0 {
+		t.Fatal("every bounded query was refused; bound too tight for the fixture")
+	}
+}
+
+func TestLoadCaseFromDirectory(t *testing.T) {
+	dir := t.TempDir()
+	spec, _ := json.Marshal(geoSpec(1000))
+	if err := os.WriteFile(filepath.Join(dir, "spec.json"), spec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	caseJSON := `{
+	  "strategy": {"base_rate": 0.1, "seed": 1},
+	  "workload": {"queries": 2, "seed": 1, "grouping_columns": 1, "aggregate": "count"},
+	  "gates": {"max_rel_err": 0.9}
+	}`
+	if err := os.WriteFile(filepath.Join(dir, "case.json"), []byte(caseJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, s, err := LoadCase(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != filepath.Base(dir) {
+		t.Fatalf("case name %q, want directory name default", c.Name)
+	}
+	if s.Name != "GEO" {
+		t.Fatalf("spec name %q", s.Name)
+	}
+
+	// Unknown gate names must fail loudly.
+	bad := `{"strategy":{"base_rate":0.1},"workload":{"queries":1,"grouping_columns":1,"aggregate":"count"},"gates":{"max_rel_err":0.5,"max_relerr_typo":0.5}}`
+	if err := os.WriteFile(filepath.Join(dir, "case.json"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCase(dir); err == nil {
+		t.Fatal("typoed gate name loaded without error")
+	}
+}
+
+func TestCaseValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Case)
+		want   string
+	}{
+		{"base rate", func(c *Case) { c.Strategy.BaseRate = 0 }, "base_rate"},
+		{"queries", func(c *Case) { c.Workload.Queries = 0 }, "queries"},
+		{"aggregate", func(c *Case) { c.Workload.Aggregate = "median" }, "unknown aggregate"},
+		{"sum measures", func(c *Case) { c.Workload.Aggregate = "sum" }, "needs measures"},
+		{"bound range", func(c *Case) { c.Bounds = &BoundsSpec{ErrorBound: 1.5} }, "error_bound"},
+		{"missing gate", func(c *Case) { c.Gates.MaxRelErr = 0 }, "max_rel_err"},
+	} {
+		c := harnessCase()
+		tc.mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid case validated", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

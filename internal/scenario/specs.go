@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed specs/*.json
+var builtinFS embed.FS
+
+// BuiltinSpecs lists the names of the specs shipped with the binary, in
+// sorted order. Each name can be passed to BuiltinSpec.
+func BuiltinSpecs() []string {
+	entries, err := builtinFS.ReadDir("specs")
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuiltinSpec parses one of the embedded spec files by base name
+// (e.g. "sales", "tpch"). The returned spec is freshly parsed on every
+// call, so callers may mutate it (row overrides, reseeding).
+func BuiltinSpec(name string) (*Spec, error) {
+	data, err := builtinFS.ReadFile("specs/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("unknown builtin spec %q (have %s)", name, strings.Join(BuiltinSpecs(), ", "))
+	}
+	s, err := ParseSpec(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("builtin spec %q: %w", name, err)
+	}
+	return s, nil
+}

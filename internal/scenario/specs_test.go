@@ -1,0 +1,94 @@
+package scenario
+
+import "testing"
+
+func TestBuiltinSpecsListAndParse(t *testing.T) {
+	names := BuiltinSpecs()
+	want := map[string]bool{"sales": false, "tpch": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("builtin spec %q missing from %v", n, names)
+		}
+	}
+	for _, n := range names {
+		s, err := BuiltinSpec(n)
+		if err != nil {
+			t.Fatalf("BuiltinSpec(%q): %v", n, err)
+		}
+		if s.FactTable() == nil {
+			t.Fatalf("builtin spec %q has no fact table", n)
+		}
+	}
+}
+
+func TestBuiltinSpecUnknown(t *testing.T) {
+	if _, err := BuiltinSpec("nope"); err == nil {
+		t.Fatal("expected error for unknown builtin spec")
+	}
+}
+
+// The builtin specs must keep the column names the hand-coded generators
+// used, so downstream CSV consumers and examples see a familiar schema.
+func TestBuiltinSpecSchemaShape(t *testing.T) {
+	sales, err := BuiltinSpec("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft := sales.FactTable(); ft == nil || ft.Name != "sales_fact" {
+		t.Fatalf("sales fact table = %+v, want sales_fact", ft)
+	}
+	if got := len(sales.Tables); got != 7 {
+		t.Fatalf("sales tables = %d, want 7 (fact + 6 dims)", got)
+	}
+
+	tpch, err := BuiltinSpec("tpch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := tpch.FactTable()
+	if ft == nil || ft.Name != "lineitem" {
+		t.Fatalf("tpch fact table = %+v, want lineitem", ft)
+	}
+	if ft.Rows != 100000 {
+		t.Fatalf("tpch lineitem rows = %d, want 100000 (SF1)", ft.Rows)
+	}
+	cols := map[string]bool{}
+	for _, c := range ft.Columns {
+		cols[c.Name] = true
+	}
+	for _, name := range []string{"l_quantity", "l_extendedprice", "l_returnflag", "l_shipdate"} {
+		if !cols[name] {
+			t.Fatalf("tpch lineitem missing column %s", name)
+		}
+	}
+}
+
+// A small builtin-spec generation sanity check: the spec path must produce
+// a database whose dims line up with their FK columns.
+func TestBuiltinSpecGenerates(t *testing.T) {
+	s, err := BuiltinSpec("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FactTable().Rows = 500
+	for i := range s.Tables {
+		if !s.Tables[i].Fact && s.Tables[i].Rows > 200 {
+			s.Tables[i].Rows = 200
+		}
+	}
+	db, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Fact.NumRows() != 500 {
+		t.Fatalf("fact rows = %d, want 500", db.Fact.NumRows())
+	}
+	if len(db.Dims) != 6 {
+		t.Fatalf("dims = %d, want 6", len(db.Dims))
+	}
+}

@@ -11,27 +11,10 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-2s}"
 OUTDIR="${BENCH_OUTDIR:-.}"
 
-# bench_json <output-file> <go-bench-output-file>
-# Converts `go test -bench` lines into a JSON array. Handles the standard
-# ns/op pair plus any custom metrics (rows/sec, B/op, allocs/op).
+# Converts `go test -bench` lines into a JSON array; see bench_json.sh for
+# the format and the hardening it applies (scientific notation, escaping).
 bench_json() {
-  awk '
-    BEGIN { print "{\n  \"benchmarks\": [" ; first = 1 }
-    /^Benchmark/ {
-      name = $1; iters = $2
-      sub(/-[0-9]+$/, "", name)
-      if (!first) printf ",\n"
-      first = 0
-      printf "    {\"name\": \"%s\", \"iters\": %s", name, iters
-      for (i = 3; i + 1 <= NF; i += 2) {
-        metric = $(i + 1)
-        gsub(/\//, "_per_", metric)
-        printf ", \"%s\": %s", metric, $i
-      }
-      printf "}"
-    }
-    END { print "\n  ]\n}" }
-  ' "$2" > "$1"
+  bash scripts/bench_json.sh "$1" "$2"
 }
 
 echo "bench: ingest path (WAL append + fsync + online maintenance)..." >&2

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# benchdiff.sh <baseline.json> <fresh.json> [max_regression_pct]
+#
+# Compares two BENCH_*.json files (as produced by scripts/bench_json.sh)
+# and fails if any benchmark's ns_per_op regressed by more than
+# max_regression_pct (default 25) relative to the baseline. Benchmarks
+# present in only one file are reported but never fail the diff, so adding
+# or retiring a benchmark does not require touching the guard.
+#
+# Exit codes: 0 = no regression beyond threshold, 1 = regression, 2 = usage.
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+  echo "usage: $0 <baseline.json> <fresh.json> [max_regression_pct]" >&2
+  exit 2
+fi
+base="$1"
+fresh="$2"
+pct="${3:-25}"
+
+for f in "$base" "$fresh"; do
+  if [ ! -f "$f" ]; then
+    echo "benchdiff: no such file: $f" >&2
+    exit 2
+  fi
+done
+
+awk -v pct="$pct" -v basefile="$base" -v freshfile="$fresh" '
+  FNR == 1 { pass++ }
+  # bench_json.sh emits exactly one benchmark object per line, so a
+  # line-oriented extraction of "name" and "ns_per_op" is exact here.
+  /"name":/ {
+    i = index($0, "\"name\": \"")
+    if (i == 0) next
+    rest = substr($0, i + 9)
+    name = substr(rest, 1, index(rest, "\"") - 1)
+    j = index($0, "\"ns_per_op\": ")
+    if (j == 0) next
+    ns = substr($0, j + 13) + 0
+    if (pass == 1) baseNs[name] = ns
+    else freshNs[name] = ns
+  }
+  END {
+    fail = 0
+    for (name in freshNs) {
+      if (!(name in baseNs)) {
+        printf "benchdiff: NEW       %-50s %12.0f ns/op (no baseline)\n", name, freshNs[name]
+        continue
+      }
+      b = baseNs[name]; f = freshNs[name]
+      delta = (b > 0) ? (f - b) / b * 100 : 0
+      if (b > 0 && f > b * (1 + pct / 100)) {
+        printf "benchdiff: REGRESSED %-50s %12.0f -> %12.0f ns/op (%+.1f%%, limit +%g%%)\n", name, b, f, delta, pct
+        fail = 1
+      } else {
+        printf "benchdiff: ok        %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n", name, b, f, delta
+      }
+    }
+    for (name in baseNs)
+      if (!(name in freshNs))
+        printf "benchdiff: GONE      %-50s (in baseline only)\n", name
+    exit fail
+  }
+' "$base" "$fresh"

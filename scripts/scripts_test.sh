@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Fixture-driven tests for the shell tooling in scripts/: the bench output
+# -> JSON converter (scientific notation, name escaping) and the benchdiff
+# regression guard (including the required failure on a synthetic 2x
+# ns_per_op regression). Run by `make check`. Needs only bash, awk, diff.
+set -u
+cd "$(dirname "$0")/.."
+
+fails=0
+
+# t <description> <expected-exit-code> <command...>
+t() {
+  local desc="$1" want="$2"
+  shift 2
+  "$@" >/tmp/scripts_test.out 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc (exit $got, want $want)"
+    sed 's/^/    /' /tmp/scripts_test.out
+    fails=$((fails + 1))
+  else
+    echo "ok:   $desc"
+  fi
+}
+
+# --- bench_json.sh -------------------------------------------------------
+# Golden test: scientific-notation values must be normalised to plain
+# decimal and a `"` in a subtest name must be escaped.
+bash scripts/bench_json.sh /tmp/scripts_test_bench.json scripts/testdata/bench_sci.txt
+if diff -u scripts/testdata/bench_sci.golden.json /tmp/scripts_test_bench.json >/tmp/scripts_test.out 2>&1; then
+  echo "ok:   bench_json golden (scientific notation + name escaping)"
+else
+  echo "FAIL: bench_json golden (scientific notation + name escaping)"
+  sed 's/^/    /' /tmp/scripts_test.out
+  fails=$((fails + 1))
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+  t "bench_json output is valid JSON" 0 python3 -m json.tool /tmp/scripts_test_bench.json
+fi
+
+t "bench_json rejects missing args" 2 bash scripts/bench_json.sh /tmp/only_one_arg.json
+
+# --- benchdiff.sh --------------------------------------------------------
+t "benchdiff passes on identical results" 0 \
+  bash scripts/benchdiff.sh scripts/testdata/baseline.json scripts/testdata/baseline.json
+t "benchdiff passes on regression within threshold" 0 \
+  bash scripts/benchdiff.sh scripts/testdata/baseline.json scripts/testdata/within.json
+t "benchdiff fails on synthetic 2x ns_per_op regression" 1 \
+  bash scripts/benchdiff.sh scripts/testdata/baseline.json scripts/testdata/regress2x.json
+t "benchdiff passes on improvement (new benchmark is informational)" 0 \
+  bash scripts/benchdiff.sh scripts/testdata/baseline.json scripts/testdata/improved.json
+t "benchdiff honours a custom threshold (2x allowed at 150%)" 0 \
+  bash scripts/benchdiff.sh scripts/testdata/baseline.json scripts/testdata/regress2x.json 150
+t "benchdiff rejects a missing file" 2 \
+  bash scripts/benchdiff.sh scripts/testdata/baseline.json /tmp/does_not_exist_$$.json
+
+if [ "$fails" -ne 0 ]; then
+  echo "scripts_test: $fails failure(s)"
+  exit 1
+fi
+echo "scripts_test: all tests passed"
